@@ -1,0 +1,35 @@
+// E5 — average packet (burst) delay vs number of data users, REVERSE link.
+//
+// Same sweep as E4 with all-upload traffic: the admissible region is now the
+// interference-limited one of Eq. (16)-(18), including the SCRM
+// neighbour-cell projection, and the mobile TX power budget caps the SGR.
+// Expected shape: same ordering as E4 (JABA-SD lowest); absolute delays are
+// higher than forward-link since reverse rise budgets bind earlier.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace wcdma;
+using namespace wcdma::bench;
+
+int main() {
+  common::Table t({"data-users", "scheduler", "mean-delay(s)", "p95-delay(s)",
+                   "throughput(kbps)", "grant-rate", "mean-SGR"});
+  for (const int users : {4, 8, 12, 16, 20, 24}) {
+    for (const auto kind : headline_schedulers()) {
+      sim::SystemConfig cfg = hotspot_config(4002);
+      cfg.data.users = users;
+      cfg.data.forward_fraction = 0.0;  // all uploads
+      cfg.admission.scheduler = kind;
+      const Row r = run_row_reps(cfg, 3);
+      t.add_row({std::to_string(users), to_string(kind),
+                 common::format_double(r.mean_delay_s, 4),
+                 common::format_double(r.p95_delay_s, 4),
+                 common::format_double(r.throughput_kbps, 4),
+                 common::format_double(r.grant_rate, 3),
+                 common::format_double(r.mean_sgr, 3)});
+    }
+  }
+  t.print("E5: reverse-link burst delay vs data users (7-cell hotspot)");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E10 — J1 vs J2 (Eq. 19-21): the utilisation/delay trade and the effect of
+// the delay-penalty parameters lambda (scaling) and mu (forgetting).
+//
+// Expected shape: J1 maximises raw throughput but lets long-waiting,
+// poor-channel requests age (worse tail delay and fairness); J2 trades a
+// little throughput for a flatter delay distribution, increasingly so as
+// lambda grows.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace wcdma;
+using namespace wcdma::bench;
+
+int main() {
+  struct Case {
+    const char* label;
+    admission::ObjectiveKind kind;
+    double lambda;
+    double mu;
+  };
+  const Case cases[] = {
+      {"J1", admission::ObjectiveKind::kJ1MaxRate, 0.0, 0.5},
+      {"J2(l=0.5,mu=0.5)", admission::ObjectiveKind::kJ2DelayAware, 0.5, 0.5},
+      {"J2(l=2,mu=0.5)", admission::ObjectiveKind::kJ2DelayAware, 2.0, 0.5},
+      {"J2(l=10,mu=0.5)", admission::ObjectiveKind::kJ2DelayAware, 10.0, 0.5},
+      {"J2(l=2,mu=0.1)", admission::ObjectiveKind::kJ2DelayAware, 2.0, 0.1},
+      {"J2(l=2,mu=2.0)", admission::ObjectiveKind::kJ2DelayAware, 2.0, 2.0},
+  };
+
+  common::Table t({"objective", "mean-delay(s)", "p95-delay(s)", "throughput(kbps)",
+                   "max-queue-wait(s)"});
+  for (const Case& c : cases) {
+    sim::SystemConfig cfg = hotspot_config(4010);
+    cfg.data.users = 20;
+    cfg.admission.objective = c.kind;
+    cfg.admission.penalty.lambda = c.lambda;
+    cfg.admission.penalty.mu = c.mu;
+    sim::Simulator simulator(cfg);
+    const sim::SimMetrics m = simulator.run();
+    t.add_row({c.label, common::format_double(m.mean_delay_s(), 4),
+               common::format_double(m.p95_delay_s(), 4),
+               common::format_double(m.data_throughput_bps() / 1000.0, 4),
+               common::format_double(m.queue_delay_s.max(), 4)});
+  }
+  t.print("E10: J1 vs J2 and delay-penalty parameter sweep (20 data users)");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E1 — VTAOC average throughput vs mean CSI, against fixed-rate PHYs.
+//
+// Reproduces the claim of Section 2 / ref [3]: "a significant gain in the
+// average throughput can be achieved in these adaptive channel coding
+// schemes."  Closed-form Rayleigh averages; one block per target BER.
+// Expected shape: the adaptive curve is the upper envelope of all fixed-mode
+// curves, with the largest relative gain in the mid-CSI region where no
+// single fixed mode fits the fading spread.
+#include <cstdio>
+
+#include "src/common/table.hpp"
+#include "src/common/units.hpp"
+#include "src/phy/adaptation.hpp"
+
+using namespace wcdma;
+
+int main() {
+  for (const double pb : {1e-2, 1e-3, 1e-4}) {
+    phy::VtaocParams params;
+    params.b1 = 4.0;
+    phy::AdaptationPolicy policy(phy::make_vtaoc_modes(params), pb);
+
+    common::Table t({"meanCSI(dB)", "adaptive", "fixed-m1", "fixed-m3", "fixed-m5",
+                     "best-fixed", "gain-vs-best"});
+    for (double db = -10.0; db <= 20.0 + 1e-9; db += 2.5) {
+      const double eps = common::db_to_linear(db);
+      const double adaptive = policy.avg_throughput_rayleigh(eps);
+      double best_fixed = 0.0;
+      for (int q = 1; q <= 6; ++q) {
+        best_fixed = std::max(best_fixed,
+                              policy.fixed_mode_avg_throughput_rayleigh(eps, q));
+      }
+      t.add_numeric_row({db, adaptive,
+                         policy.fixed_mode_avg_throughput_rayleigh(eps, 1),
+                         policy.fixed_mode_avg_throughput_rayleigh(eps, 3),
+                         policy.fixed_mode_avg_throughput_rayleigh(eps, 5), best_fixed,
+                         best_fixed > 0.0 ? adaptive / best_fixed : 0.0});
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "E1: VTAOC avg throughput (bits/sym) vs mean CSI, Pb=%g", pb);
+    t.print(title);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Adaptive physical layer demo (Section 2): prints the 6-mode VTAOC ladder,
+// its constant-BER adaptation thresholds, and the average throughput /
+// outage / realised BER across a CSI sweep, next to a fixed-rate PHY.
+#include <cstdio>
+
+#include "src/common/table.hpp"
+#include "src/common/units.hpp"
+#include "src/phy/adaptation.hpp"
+
+using namespace wcdma;
+
+int main() {
+  const double target_ber = 1e-3;
+  phy::VtaocParams params;
+  params.b1 = 4.0;
+  phy::AdaptationPolicy policy(phy::make_vtaoc_modes(params), target_ber);
+
+  std::printf("VTAOC ladder (target BER %.0e, constant-BER thresholds):\n", target_ber);
+  common::Table ladder({"mode", "beta (bits/sym)", "threshold (dB)"});
+  for (std::size_t q = 1; q <= policy.modes().size(); ++q) {
+    ladder.add_row({std::to_string(q),
+                    common::format_double(policy.modes().mode(static_cast<int>(q)).throughput),
+                    common::format_double(
+                        common::linear_to_db(policy.thresholds()[q - 1]), 4)});
+  }
+  ladder.print();
+
+  std::printf("\nAverage performance under Rayleigh fading vs mean CSI:\n");
+  common::Table sweep({"mean CSI (dB)", "adaptive beta", "fixed m3 beta", "gain x",
+                       "outage", "avg BER"});
+  for (double db = -10.0; db <= 20.0 + 1e-9; db += 2.5) {
+    const double eps = common::db_to_linear(db);
+    const double adaptive = policy.avg_throughput_rayleigh(eps);
+    const double fixed = policy.fixed_mode_avg_throughput_rayleigh(eps, 3);
+    sweep.add_numeric_row({db, adaptive, fixed, fixed > 0 ? adaptive / fixed : 0.0,
+                           policy.outage_probability_rayleigh(eps),
+                           policy.avg_ber_rayleigh(eps)});
+  }
+  sweep.print();
+  std::printf("\nThe avg BER column stays at/below the %.0e target across the whole\n"
+              "sweep: the penalty of a bad channel is throughput, not errors.\n",
+              target_ber);
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "src/admission/measurement.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::admission {
+
+Region build_forward_region(const ForwardLinkInputs& inputs) {
+  const std::size_t num_cells = inputs.cell_load_watt.size();
+  const std::size_t nd = inputs.users.size();
+  WCDMA_ASSERT(inputs.p_max_watt > 0.0 && inputs.gamma_s > 0.0);
+
+  Region region;
+  region.a = common::Matrix(num_cells, nd, 0.0);
+  region.b.assign(num_cells, 0.0);
+
+  for (std::size_t k = 0; k < num_cells; ++k) {
+    region.b[k] = std::max(0.0, inputs.p_max_watt - inputs.cell_load_watt[k]);
+  }
+  for (std::size_t j = 0; j < nd; ++j) {
+    const auto& u = inputs.users[j];
+    WCDMA_ASSERT(u.alpha_fl > 0.0);
+    for (const auto& leg : u.reduced_active_set) {
+      WCDMA_ASSERT(leg.cell < num_cells);
+      WCDMA_ASSERT(leg.fch_power_watt >= 0.0);
+      // a_{kj} = gamma_s * P_{j,k} * alpha_j^{FL}   (Eq. 8)
+      region.a(leg.cell, j) = inputs.gamma_s * leg.fch_power_watt * u.alpha_fl;
+    }
+  }
+  return region;
+}
+
+Region build_reverse_region(const ReverseLinkInputs& inputs) {
+  const std::size_t num_cells = inputs.cell_interference_watt.size();
+  const std::size_t nd = inputs.users.size();
+  WCDMA_ASSERT(inputs.l_max_watt > 0.0 && inputs.gamma_s > 0.0 && inputs.kappa >= 1.0);
+
+  Region region;
+  region.a = common::Matrix(num_cells, nd, 0.0);
+  region.b.assign(num_cells, 0.0);
+
+  for (std::size_t k = 0; k < num_cells; ++k) {
+    const double l_k = inputs.cell_interference_watt[k];
+    WCDMA_ASSERT(l_k > 0.0);
+    // RHS after normalising row k by L_k (Eq. 17): L_max / L_k - 1.
+    region.b[k] = std::max(0.0, inputs.l_max_watt / l_k - 1.0);
+  }
+
+  for (std::size_t j = 0; j < nd; ++j) {
+    const auto& u = inputs.users[j];
+    WCDMA_ASSERT(!u.soft_handoff.empty());
+    WCDMA_ASSERT(u.zeta > 0.0 && u.alpha_rl > 0.0);
+
+    // Soft-handoff rows (Eq. 12 / first case of Eq. 18).
+    for (const auto& leg : u.soft_handoff) {
+      WCDMA_ASSERT(leg.cell < num_cells);
+      WCDMA_ASSERT(leg.pilot_ec_io > 0.0);
+      region.a(leg.cell, j) = inputs.gamma_s * u.zeta * leg.pilot_ec_io * u.alpha_rl;
+    }
+
+    // Neighbour rows via the SCRM forward-pilot projection (Eq. 13-15).
+    const auto& host = u.soft_handoff.front();
+    const double l_host = inputs.cell_interference_watt[host.cell];
+    // Host cell's forward pilot (needed as the projection denominator).
+    double host_fl_pilot = 0.0;
+    for (const auto& pr : u.scrm_pilots) {
+      if (pr.cell == host.cell) host_fl_pilot = pr.pilot_ec_io;
+    }
+    if (host_fl_pilot <= 0.0) continue;  // no usable report: skip projection
+
+    for (const auto& pr : u.scrm_pilots) {
+      WCDMA_ASSERT(pr.cell < num_cells);
+      if (region.a(pr.cell, j) > 0.0) continue;  // already a SHO row
+      if (pr.pilot_ec_io <= 0.0) continue;
+      const double l_kp = inputs.cell_interference_watt[pr.cell];
+      // Projected rise at k': host-cell received FCH power scaled by the
+      // forward-pilot path-loss ratio and the shadowing margin, normalised
+      // by L_k' (Eq. 15 folded into row form).
+      const double path_ratio = pr.pilot_ec_io / host_fl_pilot;
+      region.a(pr.cell, j) = inputs.gamma_s * u.zeta * host.pilot_ec_io * u.alpha_rl *
+                             path_ratio * inputs.kappa * (l_host / l_kp);
+    }
+  }
+  return region;
+}
+
+}  // namespace wcdma::admission

@@ -1,0 +1,84 @@
+// Measurement sub-layer (Section 3.1): turns per-cell and per-user radio
+// measurements into the linear admissible regions of Eq. (7) and Eq. (17).
+//
+// Forward link (power limited): a burst is admissible if every base station
+// in the user's reduced active set retains headroom
+//
+//   P_k + gamma_s * sum_j m_j P_{j,k} alpha_j^{FL}  <=  P_max     (Eq. 7)
+//   a_{kj} = gamma_s * P_{j,k} * alpha_j^{FL}                     (Eq. 8)
+//
+// Reverse link (interference limited): the extra rise at every cell must
+// stay within the cap,
+//
+//   L_k + sum_j m_j Y_{j,k}  <=  L_max                            (Eq. 16)
+//
+// with, after normalising row k by L_k,
+//
+//   b_{kj} = gamma_s * zeta_j * xi_{j,k}^{RL} * alpha_j^{RL}      soft-HO k
+//                                                                 (Eq. 12/18)
+//   b_{k'j} = gamma_s * zeta_j * xi^{RL}_{j,host} * alpha_j^{RL}
+//             * (xi_{j,k'}^{FL} / xi_{j,host}^{FL})               non-SHO k'
+//             * kappa * (L_host / L_k')                           (Eq. 13-15)
+//
+// The non-SHO row projects the mobile's received power from the host cell
+// onto neighbour k' through the forward-pilot path-loss ratio (path loss is
+// reciprocal) plus the shadowing margin kappa.  RHS: L_max/L_k - 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/admission/region.hpp"
+
+namespace wcdma::admission {
+
+/// Forward-link per-request measurement (from the base stations in the
+/// user's reduced active set).
+struct ForwardUserMeasurement {
+  struct Leg {
+    std::size_t cell = 0;
+    double fch_power_watt = 0.0;  // P_{j,k}: current FCH forward power
+  };
+  std::vector<Leg> reduced_active_set;
+  double alpha_fl = 1.0;  // reduced-active-set adjustment factor
+};
+
+struct ForwardLinkInputs {
+  std::vector<double> cell_load_watt;  // P_k per cell (current total forward power)
+  double p_max_watt = 20.0;
+  double gamma_s = 3.2;
+  std::vector<ForwardUserMeasurement> users;  // one per concurrent request
+};
+
+/// Eq. (7)-(8).  Rows are clamped so b >= 0: an already-overloaded cell
+/// admits no new burst but keeps m = 0 feasible.
+Region build_forward_region(const ForwardLinkInputs& inputs);
+
+/// Reverse-link per-request measurement.
+struct ReverseUserMeasurement {
+  struct ShoLeg {
+    std::size_t cell = 0;
+    double pilot_ec_io = 0.0;  // xi_{j,k}^{RL} (linear), measured at BS k
+  };
+  struct PilotReport {
+    std::size_t cell = 0;
+    double pilot_ec_io = 0.0;  // xi_{j,k}^{FL} (linear), reported via SCRM
+  };
+  std::vector<ShoLeg> soft_handoff;     // host first (strongest)
+  std::vector<PilotReport> scrm_pilots; // includes the host cell's pilot
+  double zeta = 2.0;      // FCH-to-pilot transmit power ratio at the mobile
+  double alpha_rl = 1.0;  // reverse soft-handoff adjustment factor
+};
+
+struct ReverseLinkInputs {
+  std::vector<double> cell_interference_watt;  // L_k per cell (total received)
+  double l_max_watt = 0.0;                     // rise-over-thermal cap
+  double gamma_s = 3.2;
+  double kappa = 1.585;                        // shadowing margin (~2 dB), linear
+  std::vector<ReverseUserMeasurement> users;
+};
+
+/// Eq. (16)-(18) with the neighbour-cell projection of Eq. (13)-(15).
+Region build_reverse_region(const ReverseLinkInputs& inputs);
+
+}  // namespace wcdma::admission

@@ -1,0 +1,72 @@
+// Scheduling sub-layer objectives (Section 3.2, Eq. 19-24).
+//
+// J1 (Eq. 19) maximises the total weighted transmission rate:
+//
+//     J1(m) = sum_j  m_j * dbeta_j * (1 + Delta_j)
+//
+// J2 (Eq. 20) trades utilisation against waiting time by subtracting a
+// delay penalty f(w_j, m_j dbeta_j), linear in the granted rate, increasing
+// in the effective delay w_j = t_w + D_s (Eq. 22, MAC set-up penalty of
+// Eq. 23), with scaling factor lambda and forgetting factor mu (Eq. 21).
+// We reconstruct f (the paper defers its exact form to [6]) as
+//
+//     f(w, r) = lambda * (1 - e^{-mu w}) * (r_max - r),   r_max = M dbeta_j
+//
+// which is linear in r and saturating in w; inside the IP it reduces to a
+// per-request priority boost, c_j = dbeta_j (1 + Delta_j + lambda psi(w_j)),
+// plus a constant offset that does not affect the argmax (DESIGN.md D4).
+#pragma once
+
+#include <vector>
+
+#include "src/mac/mac_state.hpp"
+
+namespace wcdma::admission {
+
+enum class ObjectiveKind { kJ1MaxRate, kJ2DelayAware };
+
+const char* to_string(ObjectiveKind k);
+
+struct DelayPenaltyConfig {
+  double lambda = 2.0;  // scaling factor
+  double mu = 0.5;      // delay forgetting factor (1/s)
+};
+
+/// Scheduler-facing view of one pending burst request.
+struct RequestView {
+  int user = -1;
+  double q_bits = 0.0;       // burst size Q_j in bits
+  double waiting_s = 0.0;    // t_w: time since the request entered the queue
+  double priority = 0.0;     // Delta_j (traffic-type priority)
+  double delta_beta = 1.0;   // dbeta_j: SCH/FCH average-throughput ratio at
+                             // the user's current local-mean CSI (Eq. 4)
+};
+
+/// psi(w) = 1 - exp(-mu w): the saturating waiting-time weight.
+double delay_weight(const DelayPenaltyConfig& config, double w_s);
+
+/// The reconstructed penalty f(w, r) itself (for benches/tests).
+/// `r` and `r_max` are rates in units of dbeta (m and M times dbeta_j).
+double delay_penalty(const DelayPenaltyConfig& config, double w_s, double r, double r_max);
+
+/// Objective coefficient vector c (one entry per request) such that the
+/// scheduling IP maximises sum_j c_j m_j.
+/// For kJ2DelayAware, `timers` supplies the MAC set-up delay D_s added to
+/// the waiting time (Eq. 22-23).
+std::vector<double> objective_coefficients(const std::vector<RequestView>& requests,
+                                           ObjectiveKind kind,
+                                           const DelayPenaltyConfig& penalty,
+                                           const mac::MacTimersConfig& timers);
+
+/// Eq. (24): per-request integer upper bound
+///   u_j = min{ M, floor(Q_j / (dbeta_j * R_f * T_min)) },
+/// clamped to >= 1 so short bursts remain servable at the minimum rate
+/// (otherwise they could never leave the queue; see DESIGN.md).
+int duration_upper_bound(double q_bits, double delta_beta, double fch_bit_rate,
+                         double min_burst_s, int max_sgr);
+
+/// Burst duration implied by a grant (Q_j / (m dbeta_j R_f)); infinity-free:
+/// returns 0 for m == 0.
+double burst_duration_s(double q_bits, int m, double delta_beta, double fch_bit_rate);
+
+}  // namespace wcdma::admission

@@ -1,0 +1,32 @@
+#include "src/admission/region.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::admission {
+
+bool Region::admits(const std::vector<int>& m, double tol) const {
+  WCDMA_ASSERT(m.size() == a.cols() || a.rows() == 0);
+  if (a.rows() == 0) return true;
+  common::Vector x(m.size());
+  for (std::size_t j = 0; j < m.size(); ++j) {
+    if (m[j] < 0) return false;
+    x[j] = static_cast<double>(m[j]);
+  }
+  return common::satisfies(a, x, b, tol);
+}
+
+Region stack(const Region& first, const Region& second) {
+  if (first.empty()) return second;
+  if (second.empty()) return first;
+  WCDMA_ASSERT(first.a.cols() == second.a.cols());
+  Region out = first;
+  for (std::size_t r = 0; r < second.a.rows(); ++r) {
+    common::Vector row(second.a.cols());
+    for (std::size_t c = 0; c < second.a.cols(); ++c) row[c] = second.a(r, c);
+    out.a.append_row(row);
+    out.b.push_back(second.b[r]);
+  }
+  return out;
+}
+
+}  // namespace wcdma::admission

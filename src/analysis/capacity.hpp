@@ -1,0 +1,75 @@
+// Closed-form CDMA load/capacity analysis.
+//
+// Section 1 of the paper builds on the classical interference-limited
+// capacity picture of CDMA (voice statistical multiplexing, pole capacity,
+// rise-over-thermal).  This module provides those formulas as a design and
+// validation tool: the test suite cross-checks the dynamic simulator's
+// measured rise against these predictions, and scenario authors can size
+// voice/data mixes before running simulations.
+//
+// Conventions: "load factor" eta is the fraction of total received power
+// contributed by served users; L = N / (1 - eta) so the rise over thermal
+// is -10 log10(1 - eta).
+#pragma once
+
+#include "src/phy/adaptation.hpp"
+
+namespace wcdma::analysis {
+
+struct ReverseLinkBudget {
+  double sir_target = 5.0;       // FCH Eb/I0 target (linear)
+  double processing_gain = 384;  // W / R_f
+  double zeta = 2.0;             // FCH/pilot TX ratio at the mobile
+  double alpha_rl = 1.0;         // soft-handoff adjustment
+  double gamma_s = 3.2;          // SCH/FCH symbol Es/I0 ratio
+  double dcch_fraction = 0.125;  // control-hold DCCH load vs full FCH
+};
+
+/// Load-factor contribution of one *active* full-rate FCH user (pilot
+/// included): eta = SIR (1 + 1/zeta) / (pg * alpha).
+double reverse_fch_load(const ReverseLinkBudget& budget);
+
+/// Load-factor contribution of an idle (Control Hold) data user.
+double reverse_dcch_load(const ReverseLinkBudget& budget);
+
+/// Load-factor cost of ONE spreading-gain-ratio unit of SCH.
+double reverse_sch_unit_load(const ReverseLinkBudget& budget);
+
+/// Pole capacity: number of simultaneous active FCH users at eta -> 1.
+double reverse_pole_capacity(const ReverseLinkBudget& budget);
+
+/// Rise over thermal (dB) at load factor eta in [0, 1).
+double rise_over_thermal_db(double eta);
+
+/// Load factor implied by a rise cap (dB): eta = 1 - 10^(-rise/10).
+double load_at_rise_db(double rise_db);
+
+/// Total SGR budget (sum of m_j) available to SCH bursts in a cell whose
+/// baseline load is eta_base, under a rise cap.  Clamped at 0.
+double sch_sgr_budget(const ReverseLinkBudget& budget, double eta_base,
+                      double rise_cap_db);
+
+/// Baseline cell load for a voice/data mix: n_voice active-factor-weighted
+/// FCH users plus n_data idle DCCH users.
+double baseline_load(const ReverseLinkBudget& budget, double voice_users,
+                     double voice_activity, double data_users);
+
+struct ForwardLinkBudget {
+  double bs_max_power_w = 20.0;
+  double overhead_w = 3.0;       // pilot + common channels
+  double gamma_s = 3.2;
+};
+
+/// Number of concurrent SGR units the forward budget supports when the
+/// average per-user FCH forward power is `fch_power_w` and `base_traffic_w`
+/// is already committed: floor of headroom / (gamma_s * fch_power).
+double forward_sgr_budget(const ForwardLinkBudget& budget, double base_traffic_w,
+                          double fch_power_w);
+
+/// Expected SCH bit rate for a grant of m SGR units at local-mean CSI
+/// `eps_s`, given the VTAOC policy (Eq. 4 with the Rayleigh-average
+/// throughput).
+double expected_sch_rate_bps(const phy::AdaptationPolicy& policy, int m, double eps_s,
+                             double fch_bit_rate, double fch_throughput);
+
+}  // namespace wcdma::analysis

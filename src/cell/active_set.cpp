@@ -1,0 +1,109 @@
+#include "src/cell/active_set.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::cell {
+
+ActiveSet::ActiveSet(const ActiveSetConfig& config, std::size_t num_cells)
+    : config_(config),
+      last_pilot_db_(num_cells, -999.0),
+      below_drop_s_(num_cells, 0.0) {
+  WCDMA_ASSERT(config_.max_size >= 1);
+  WCDMA_ASSERT(config_.reduced_size >= 1 && config_.reduced_size <= config_.max_size);
+  WCDMA_ASSERT(config_.t_add_db >= config_.t_drop_db);
+}
+
+void ActiveSet::update(const std::vector<double>& pilot_ec_io_db, double dt) {
+  WCDMA_ASSERT(pilot_ec_io_db.size() == last_pilot_db_.size());
+  last_pilot_db_ = pilot_ec_io_db;
+
+  // Drop phase: members below T_DROP for longer than the drop timer leave.
+  std::vector<std::size_t> kept;
+  kept.reserve(members_.size());
+  for (std::size_t cell : members_) {
+    if (pilot_ec_io_db[cell] < config_.t_drop_db) {
+      below_drop_s_[cell] += dt;
+      if (below_drop_s_[cell] >= config_.drop_timer_s) {
+        below_drop_s_[cell] = 0.0;
+        continue;  // dropped
+      }
+    } else {
+      below_drop_s_[cell] = 0.0;
+    }
+    kept.push_back(cell);
+  }
+  members_ = std::move(kept);
+
+  // Add phase: non-members above T_ADD, strongest first, until max_size.
+  std::vector<std::size_t> candidates;
+  for (std::size_t cell = 0; cell < pilot_ec_io_db.size(); ++cell) {
+    if (pilot_ec_io_db[cell] >= config_.t_add_db && !contains(cell)) {
+      candidates.push_back(cell);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
+    return pilot_ec_io_db[a] > pilot_ec_io_db[b];
+  });
+  for (std::size_t cell : candidates) {
+    if (members_.size() >= config_.max_size) {
+      // Replace the weakest member if the candidate is stronger.
+      auto weakest = std::min_element(
+          members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
+            return pilot_ec_io_db[a] < pilot_ec_io_db[b];
+          });
+      if (pilot_ec_io_db[cell] > pilot_ec_io_db[*weakest]) {
+        *weakest = cell;
+      }
+      continue;
+    }
+    members_.push_back(cell);
+  }
+
+  // Never run empty: latch onto the strongest pilot regardless of T_ADD so
+  // a mobile always has a serving cell.
+  if (members_.empty()) {
+    std::size_t best = 0;
+    for (std::size_t cell = 1; cell < pilot_ec_io_db.size(); ++cell) {
+      if (pilot_ec_io_db[cell] > pilot_ec_io_db[best]) best = cell;
+    }
+    members_.push_back(best);
+  }
+
+  std::sort(members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
+    return last_pilot_db_[a] > last_pilot_db_[b];
+  });
+  initialised_ = true;
+}
+
+std::size_t ActiveSet::primary() const {
+  WCDMA_ASSERT(initialised_ && !members_.empty());
+  return members_.front();
+}
+
+std::vector<std::size_t> ActiveSet::reduced() const {
+  WCDMA_ASSERT(initialised_);
+  std::vector<std::size_t> out = members_;
+  if (out.size() > config_.reduced_size) out.resize(config_.reduced_size);
+  return out;
+}
+
+bool ActiveSet::contains(std::size_t cell) const {
+  return std::find(members_.begin(), members_.end(), cell) != members_.end();
+}
+
+double ActiveSet::forward_adjustment() const {
+  // Every reduced-set leg must transmit the SCH: linear cost in legs, with a
+  // small combining discount on the extras.
+  const double legs = static_cast<double>(std::min(members_.size(), config_.reduced_size));
+  return 1.0 + 0.8 * (legs - 1.0);
+}
+
+double ActiveSet::reverse_adjustment() const {
+  // Selection macro-diversity: two legs allow ~1 dB lower per-leg target.
+  const double legs = static_cast<double>(std::min(members_.size(), config_.reduced_size));
+  return legs > 1.0 ? 0.8 : 1.0;
+}
+
+}  // namespace wcdma::cell

@@ -1,0 +1,61 @@
+// Soft hand-off active-set maintenance and the *reduced active set*.
+//
+// Footnote 4 of the paper: soft hand-off helps the reverse link but costs
+// forward-link power, so cdma2000 assigns the SCH from a *reduced active
+// set* -- the 2 base stations with the strongest pilot Ec/Io, a subset of
+// the FCH active set.  This class implements IS-95/cdma2000-style
+// add/drop-threshold management with hysteresis and exposes the reduced
+// set used by the burst admission measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wcdma::cell {
+
+struct ActiveSetConfig {
+  double t_add_db = -14.0;   // pilot Ec/Io to enter the candidate/active set
+  double t_drop_db = -16.0;  // pilot Ec/Io below which the drop timer runs
+  double drop_timer_s = 1.0;
+  std::size_t max_size = 3;          // FCH active set size
+  std::size_t reduced_size = 2;      // SCH reduced active set (footnote 4)
+};
+
+class ActiveSet {
+ public:
+  ActiveSet(const ActiveSetConfig& config, std::size_t num_cells);
+
+  /// One update per frame with the current per-cell pilot Ec/Io (dB).
+  /// `dt` is the frame duration (drives the drop timers).
+  void update(const std::vector<double>& pilot_ec_io_db, double dt);
+
+  /// Cells currently in the FCH active set (sorted by descending pilot).
+  const std::vector<std::size_t>& members() const { return members_; }
+
+  /// Strongest-pilot member (the serving cell).  Valid after first update.
+  std::size_t primary() const;
+
+  /// The reduced active set for SCH assignment: up to `reduced_size`
+  /// strongest members.
+  std::vector<std::size_t> reduced() const;
+
+  bool contains(std::size_t cell) const;
+
+  /// Forward-link power adjustment factor alpha^(FL): transmitting the SCH
+  /// from every reduced-active-set leg costs this multiple of single-leg
+  /// power (Eq. 6).
+  double forward_adjustment() const;
+
+  /// Reverse-link adjustment factor alpha^(RL): macro-diversity selection
+  /// combining lets each leg run slightly below the single-leg requirement.
+  double reverse_adjustment() const;
+
+ private:
+  ActiveSetConfig config_;
+  std::vector<double> last_pilot_db_;
+  std::vector<double> below_drop_s_;  // time spent below t_drop per member
+  std::vector<std::size_t> members_;
+  bool initialised_ = false;
+};
+
+}  // namespace wcdma::cell

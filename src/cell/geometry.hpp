@@ -1,0 +1,64 @@
+// Hexagonal cell layout with optional wrap-around.
+//
+// The dynamic simulations of the paper (following Kumar & Nanda [2]) use a
+// multi-cell layout so soft hand-off and other-cell interference are real.
+// We build the standard ring layout (rings=2 -> 19 cells) and remove edge
+// effects with the usual wrap-around technique: distances are evaluated as
+// the minimum over the identity and six mirror-cluster translations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wcdma::cell {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+inline Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+inline Point operator*(double s, Point p) { return {s * p.x, s * p.y}; }
+
+double norm(Point p);
+double distance(Point a, Point b);
+
+struct HexLayoutConfig {
+  int rings = 2;            // 0 -> 1 cell, 1 -> 7, 2 -> 19
+  double cell_radius_m = 1000.0;  // centre-to-vertex radius
+  bool wrap_around = true;
+};
+
+class HexLayout {
+ public:
+  explicit HexLayout(const HexLayoutConfig& config = {});
+
+  std::size_t num_cells() const { return centers_.size(); }
+  Point center(std::size_t k) const;
+  const std::vector<Point>& centers() const { return centers_; }
+  double cell_radius_m() const { return config_.cell_radius_m; }
+
+  /// Distance from `p` to the centre of cell `k`, minimised over the
+  /// wrap-around images when enabled.
+  double distance_to_cell(Point p, std::size_t k) const;
+
+  /// Index of the nearest cell (wrap-aware).
+  std::size_t nearest_cell(Point p) const;
+
+  /// A uniformly random point in the service area (disc covering the
+  /// layout); callers supply uniform variates u1,u2 in [0,1).
+  Point random_point(double u1, double u2) const;
+
+  /// Radius of the disc that bounds the whole layout.
+  double service_radius_m() const;
+
+  const std::vector<Point>& wrap_translations() const { return translations_; }
+
+ private:
+  HexLayoutConfig config_;
+  std::vector<Point> centers_;
+  std::vector<Point> translations_;  // identity excluded
+};
+
+}  // namespace wcdma::cell

@@ -1,0 +1,102 @@
+#include "src/cell/mobility.hpp"
+
+#include <cmath>
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::cell {
+
+namespace {
+
+Point random_in_disc(common::Rng& rng, double radius) {
+  const double r = radius * std::sqrt(rng.uniform());
+  const double th = rng.uniform(0.0, 2.0 * M_PI);
+  return {r * std::cos(th), r * std::sin(th)};
+}
+
+// Reflect p back into the disc of given radius about the origin.
+Point reflect_into_disc(Point p, double radius) {
+  const double n = norm(p);
+  if (n <= radius || n == 0.0) return p;
+  const double over = n - radius;
+  const double scale = (radius - over) / n;  // fold the overshoot back inside
+  return {p.x * std::max(scale, 0.0), p.y * std::max(scale, 0.0)};
+}
+
+}  // namespace
+
+RandomWaypoint::RandomWaypoint(const MobilityConfig& config, common::Rng rng)
+    : config_(config), rng_(rng) {
+  WCDMA_ASSERT(config_.max_speed_mps >= config_.min_speed_mps);
+  WCDMA_ASSERT(config_.min_speed_mps > 0.0);
+  pos_ = random_in_disc(rng_, config_.region_radius_m);
+  pick_waypoint();
+}
+
+void RandomWaypoint::pick_waypoint() {
+  target_ = random_in_disc(rng_, config_.region_radius_m);
+  speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+}
+
+double RandomWaypoint::step(double dt) {
+  double moved = 0.0;
+  double remaining = dt;
+  while (remaining > 0.0) {
+    if (pause_left_ > 0.0) {
+      const double pause = std::min(pause_left_, remaining);
+      pause_left_ -= pause;
+      remaining -= pause;
+      continue;
+    }
+    const Point delta = target_ - pos_;
+    const double dist = norm(delta);
+    const double reach = speed_ * remaining;
+    if (reach >= dist) {
+      pos_ = target_;
+      moved += dist;
+      remaining -= (speed_ > 0.0 ? dist / speed_ : remaining);
+      pause_left_ = config_.pause_s;
+      pick_waypoint();
+    } else {
+      const double f = reach / dist;
+      pos_ = pos_ + f * delta;
+      moved += reach;
+      remaining = 0.0;
+    }
+  }
+  return moved;
+}
+
+RandomWalk::RandomWalk(const MobilityConfig& config, common::Rng rng)
+    : config_(config), rng_(rng) {
+  pos_ = random_in_disc(rng_, config_.region_radius_m);
+  heading_ = rng_.uniform(0.0, 2.0 * M_PI);
+  speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+  hold_left_ = rng_.exponential(config_.direction_hold_s);
+}
+
+double RandomWalk::step(double dt) {
+  double moved = 0.0;
+  double remaining = dt;
+  while (remaining > 0.0) {
+    const double leg = std::min(remaining, hold_left_);
+    pos_ = pos_ + Point{leg * speed_ * std::cos(heading_), leg * speed_ * std::sin(heading_)};
+    const double before = norm(pos_);
+    pos_ = reflect_into_disc(pos_, config_.region_radius_m);
+    if (norm(pos_) < before) {
+      // Bounced off the boundary: turn around with some scatter.
+      heading_ += M_PI + rng_.uniform(-0.5, 0.5);
+    }
+    moved += leg * speed_;
+    remaining -= leg;
+    hold_left_ -= leg;
+    if (hold_left_ <= 0.0) {
+      heading_ = rng_.uniform(0.0, 2.0 * M_PI);
+      speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+      hold_left_ = rng_.exponential(config_.direction_hold_s);
+    }
+  }
+  return moved;
+}
+
+}  // namespace wcdma::cell

@@ -1,0 +1,79 @@
+// User mobility models (the paper's dynamic simulation "takes into account
+// of the user mobility").  Random-waypoint is the primary model; a simple
+// direction-persistence random walk is provided for ablations.  Both stay
+// inside a circular service region by reflecting at the boundary.
+#pragma once
+
+#include "src/cell/geometry.hpp"
+#include "src/common/rng.hpp"
+
+namespace wcdma::cell {
+
+struct MobilityConfig {
+  double min_speed_mps = 0.3;   // ~1 km/h pedestrian
+  double max_speed_mps = 16.7;  // ~60 km/h vehicular
+  double pause_s = 0.0;         // random-waypoint pause at each waypoint
+  double region_radius_m = 3000.0;
+  // Random-walk only: mean time between direction changes.
+  double direction_hold_s = 10.0;
+};
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  /// Advances by dt seconds; returns metres moved (drives shadowing).
+  virtual double step(double dt) = 0;
+  virtual Point position() const = 0;
+  virtual double speed_mps() const = 0;
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(const MobilityConfig& config, common::Rng rng);
+
+  double step(double dt) override;
+  Point position() const override { return pos_; }
+  double speed_mps() const override { return speed_; }
+  Point waypoint() const { return target_; }
+
+ private:
+  void pick_waypoint();
+
+  MobilityConfig config_;
+  common::Rng rng_;
+  Point pos_;
+  Point target_;
+  double speed_ = 0.0;
+  double pause_left_ = 0.0;
+};
+
+class RandomWalk final : public MobilityModel {
+ public:
+  RandomWalk(const MobilityConfig& config, common::Rng rng);
+
+  double step(double dt) override;
+  Point position() const override { return pos_; }
+  double speed_mps() const override { return speed_; }
+
+ private:
+  MobilityConfig config_;
+  common::Rng rng_;
+  Point pos_;
+  double heading_ = 0.0;
+  double speed_ = 0.0;
+  double hold_left_ = 0.0;
+};
+
+/// Stationary user (for coverage sweeps that pin users at given radii).
+class FixedPosition final : public MobilityModel {
+ public:
+  explicit FixedPosition(Point p) : pos_(p) {}
+  double step(double) override { return 0.0; }
+  Point position() const override { return pos_; }
+  double speed_mps() const override { return 0.0; }
+
+ private:
+  Point pos_;
+};
+
+}  // namespace wcdma::cell

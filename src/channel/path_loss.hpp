@@ -1,0 +1,43 @@
+// Distance-dependent mean path loss.
+//
+// Section 3.1 of the paper relies on path-loss *symmetry* between forward
+// and reverse links (Eq. 13-14) to project neighbour-cell interference from
+// forward pilot measurements; these models are therefore direction-free.
+#pragma once
+
+namespace wcdma::channel {
+
+enum class PathLossModelKind {
+  kLogDistance,   // PL(d) = PL(d0) + 10 n log10(d/d0)
+  k3gppMacro,     // 128.1 + 37.6 log10(d_km)  (3GPP TR 25.942 macro cell)
+  kCost231Hata,   // COST231-Hata urban, 2 GHz, hb=32m, hm=1.5m
+};
+
+struct PathLossConfig {
+  PathLossModelKind kind = PathLossModelKind::k3gppMacro;
+  // kLogDistance parameters:
+  double exponent = 3.76;
+  double reference_db = 128.1;   // loss at reference_distance_m
+  double reference_distance_m = 1000.0;
+  // Distances below this are clamped (near-field guard).
+  double min_distance_m = 10.0;
+};
+
+/// Stateless path-loss evaluator.
+class PathLoss {
+ public:
+  explicit PathLoss(const PathLossConfig& config = {});
+
+  /// Path loss in dB at distance `d_m` metres (clamped to min_distance_m).
+  double loss_db(double d_m) const;
+
+  /// Linear channel power *gain* (= 10^(-loss/10)), always in (0, 1].
+  double gain_linear(double d_m) const;
+
+  const PathLossConfig& config() const { return config_; }
+
+ private:
+  PathLossConfig config_;
+};
+
+}  // namespace wcdma::channel

@@ -1,0 +1,19 @@
+#include "src/channel/shadowing.hpp"
+
+#include <cmath>
+
+namespace wcdma::channel {
+
+Shadowing::Shadowing(const ShadowingConfig& config, common::Rng rng)
+    : config_(config), rng_(rng), value_db_(rng_.normal(0.0, config.sigma_db)) {}
+
+double Shadowing::step(double moved_m) {
+  const double rho = std::exp(-std::fabs(moved_m) / config_.decorrelation_m);
+  const double innovation_sigma = config_.sigma_db * std::sqrt(1.0 - rho * rho);
+  value_db_ = rho * value_db_ + rng_.normal(0.0, innovation_sigma);
+  return value_db_;
+}
+
+double Shadowing::gain_linear() const { return std::pow(10.0, value_db_ / 10.0); }
+
+}  // namespace wcdma::channel

@@ -1,0 +1,40 @@
+// Long-term shadowing component Xl(t) of Eq. (1).
+//
+// Log-normal shadowing with the Gudmundson exponential spatial correlation
+// model: as the mobile travels distance delta-d, the dB-valued process
+// evolves as an AR(1) with correlation rho = exp(-delta_d / d_corr).  This
+// gives the "one to two second" coherence the paper describes for vehicular
+// speeds, and lets adjacent measurement updates be realistically correlated.
+#pragma once
+
+#include "src/common/rng.hpp"
+
+namespace wcdma::channel {
+
+struct ShadowingConfig {
+  double sigma_db = 8.0;        // standard deviation of the dB process
+  double decorrelation_m = 50.0;  // Gudmundson decorrelation distance
+};
+
+/// One shadowing process per (mobile, base-station) link.
+class Shadowing {
+ public:
+  Shadowing(const ShadowingConfig& config, common::Rng rng);
+
+  /// Advances the process by `moved_m` metres of mobile travel and returns
+  /// the new shadowing value in dB.
+  double step(double moved_m);
+
+  /// Current value in dB (initially a fresh N(0, sigma) draw).
+  double value_db() const { return value_db_; }
+
+  /// Current linear power gain factor.
+  double gain_linear() const;
+
+ private:
+  ShadowingConfig config_;
+  common::Rng rng_;
+  double value_db_;
+};
+
+}  // namespace wcdma::channel

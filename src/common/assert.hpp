@@ -1,0 +1,28 @@
+// Lightweight contract checking. WCDMA_ASSERT is active in all build types
+// because the simulator is cheap relative to the cost of silently corrupt
+// physics; WCDMA_DEBUG_ASSERT compiles out in release builds and is meant
+// for per-sample hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wcdma::common {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "wcdma assertion failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace wcdma::common
+
+#define WCDMA_ASSERT(expr)                                          \
+  do {                                                              \
+    if (!(expr)) ::wcdma::common::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifndef NDEBUG
+#define WCDMA_DEBUG_ASSERT(expr) WCDMA_ASSERT(expr)
+#else
+#define WCDMA_DEBUG_ASSERT(expr) ((void)0)
+#endif

@@ -1,0 +1,75 @@
+// Streaming statistics used by the simulator's metric pipeline and the
+// benchmark harnesses: Welford moments, fixed-bin histograms with percentile
+// queries, and batch-mean confidence intervals for Monte-Carlo replication
+// merging.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wcdma::common {
+
+/// Numerically-stable streaming mean/variance (Welford).  Mergeable, so
+/// per-thread accumulators can be combined deterministically.
+class StreamingMoments {
+ public:
+  void add(double x);
+  void merge(const StreamingMoments& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double total() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bin histogram over [lo, hi); samples outside are clamped into
+/// the first/last bin so percentile queries remain defined.  Mergeable.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void merge(const Histogram& other);
+
+  std::size_t count() const { return total_; }
+  /// Value at quantile q in [0,1], linearly interpolated within the bin.
+  double percentile(double q) const;
+  double mean_estimate() const;
+  const std::vector<std::uint64_t>& bins() const { return counts_; }
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Mean with a Student-t confidence interval over independent replications.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  // mean +/- half_width
+  std::size_t n = 0;
+};
+
+/// 95% CI from independent per-replication means (n >= 2); for n < 2 the
+/// half-width is reported as 0.
+ConfidenceInterval confidence_interval_95(const std::vector<double>& replication_means);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair.
+/// Returns 1 for empty or all-zero input.
+double jain_fairness(const std::vector<double>& x);
+
+}  // namespace wcdma::common

@@ -1,0 +1,54 @@
+// Fixed-size worker pool for embarrassingly-parallel Monte-Carlo
+// replications.  Determinism contract: callers index work items and seed
+// each item's RNG from (master_seed, index), so results are identical for
+// any thread count, including 0 (inline execution).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wcdma::common {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means run submitted work inline on the calling thread.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task.  Inline-executes when the pool has no workers.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `threads` workers (0 = inline).
+/// `fn` must be safe to call concurrently for distinct i.
+void parallel_for_index(std::size_t n, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Default worker count: hardware_concurrency, at least 1.
+std::size_t default_thread_count();
+
+}  // namespace wcdma::common

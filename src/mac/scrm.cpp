@@ -1,0 +1,43 @@
+#include "src/mac/scrm.hpp"
+
+#include <algorithm>
+
+namespace wcdma::mac {
+
+std::vector<PilotReport> make_pilot_report(const std::vector<double>& pilot_ec_io_db) {
+  std::vector<PilotReport> all;
+  all.reserve(pilot_ec_io_db.size());
+  for (std::size_t k = 0; k < pilot_ec_io_db.size(); ++k) {
+    all.push_back({k, pilot_ec_io_db[k]});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const PilotReport& a, const PilotReport& b) { return a.ec_io_db > b.ec_io_db; });
+  if (all.size() > kMaxScrmPilots) all.resize(kMaxScrmPilots);
+  return all;
+}
+
+void RequestQueue::push(const BurstRequest& request) {
+  WCDMA_ASSERT(request.user >= 0);
+  remove(request.user);
+  queue_.push_back(request);
+  // Keep FIFO order by arrival time (replacements keep their new arrival).
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const BurstRequest& a, const BurstRequest& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+}
+
+void RequestQueue::remove(int user) {
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [user](const BurstRequest& r) { return r.user == user; }),
+               queue_.end());
+}
+
+std::optional<BurstRequest> RequestQueue::find(int user) const {
+  for (const auto& r : queue_) {
+    if (r.user == user) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wcdma::mac

@@ -1,0 +1,108 @@
+#include "src/opt/knapsack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::opt {
+
+KnapsackResult solve_bounded_knapsack(const std::vector<std::int64_t>& weights,
+                                      std::int64_t capacity,
+                                      const std::vector<double>& values,
+                                      const std::vector<int>& upper) {
+  const std::size_t n = weights.size();
+  WCDMA_ASSERT(values.size() == n && upper.size() == n);
+  WCDMA_ASSERT(capacity >= 0);
+
+  KnapsackResult result;
+  result.x.assign(n, 0);
+
+  // Binary-split bounded items into 0/1 pseudo-items: (item j, multiplicity).
+  struct Pseudo {
+    std::size_t j;
+    int mult;
+    std::int64_t w;
+    double v;
+  };
+  std::vector<Pseudo> pseudo;
+  for (std::size_t j = 0; j < n; ++j) {
+    WCDMA_ASSERT(weights[j] >= 0 && upper[j] >= 0);
+    if (values[j] <= 0.0) continue;  // never worth taking
+    if (weights[j] == 0) {
+      // Free items: take all of them.
+      result.x[j] = upper[j];
+      result.objective += values[j] * upper[j];
+      continue;
+    }
+    int remaining = upper[j];
+    int chunk = 1;
+    while (remaining > 0) {
+      const int take = std::min(chunk, remaining);
+      pseudo.push_back({j, take, weights[j] * take, values[j] * take});
+      remaining -= take;
+      chunk *= 2;
+    }
+  }
+
+  const std::size_t cap = static_cast<std::size_t>(capacity);
+  std::vector<double> best(cap + 1, 0.0);
+  // choice[i][w] = true if pseudo-item i is taken at capacity w.
+  std::vector<std::vector<bool>> choice(pseudo.size(), std::vector<bool>(cap + 1, false));
+
+  for (std::size_t i = 0; i < pseudo.size(); ++i) {
+    const auto& it = pseudo[i];
+    if (it.w > capacity) continue;
+    for (std::size_t w = cap; w >= static_cast<std::size_t>(it.w); --w) {
+      const double with = best[w - static_cast<std::size_t>(it.w)] + it.v;
+      if (with > best[w]) {
+        best[w] = with;
+        choice[i][w] = true;
+      }
+      if (w == 0) break;
+    }
+  }
+
+  // Backtrack.
+  std::size_t w = cap;
+  for (std::size_t i = pseudo.size(); i-- > 0;) {
+    if (choice[i][w]) {
+      result.x[pseudo[i].j] += pseudo[i].mult;
+      w -= static_cast<std::size_t>(pseudo[i].w);
+    }
+  }
+  result.objective += best[cap];
+  return result;
+}
+
+KnapsackResult solve_bounded_knapsack_real(const std::vector<double>& weights,
+                                           double capacity,
+                                           const std::vector<double>& values,
+                                           const std::vector<int>& upper,
+                                           std::int64_t resolution) {
+  const std::size_t n = weights.size();
+  WCDMA_ASSERT(resolution > 0);
+  KnapsackResult empty;
+  empty.x.assign(n, 0);
+  if (capacity <= 0.0) return empty;
+
+  const double scale = static_cast<double>(resolution) / capacity;
+  std::vector<std::int64_t> wq(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    WCDMA_ASSERT(weights[j] >= 0.0);
+    wq[j] = static_cast<std::int64_t>(std::ceil(weights[j] * scale));  // round up: stay feasible
+  }
+  KnapsackResult r = solve_bounded_knapsack(wq, resolution, values, upper);
+
+  // Recompute the objective exactly and double-check real feasibility.
+  double used = 0.0;
+  r.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    used += weights[j] * r.x[j];
+    r.objective += values[j] * r.x[j];
+  }
+  WCDMA_ASSERT(used <= capacity * (1.0 + 1e-12));
+  return r;
+}
+
+}  // namespace wcdma::opt

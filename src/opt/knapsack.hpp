@@ -1,0 +1,44 @@
+// Bounded-knapsack dynamic program.
+//
+// When only a single admissible-region row binds (e.g. a one-cell system,
+// or the reverse link of an isolated hotspot), the burst-scheduling IP of
+// Section 3.2 reduces to a bounded knapsack:
+//
+//     maximize   sum_j c_j m_j
+//     s.t.       sum_j w_j m_j <= W,  m_j in {0..u_j}
+//
+// which this module solves exactly in pseudo-polynomial time via binary
+// splitting of the bounded items.  It cross-checks the branch-and-bound
+// solver in the test suite and serves as a fast exact path for Nd x 1
+// instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wcdma::opt {
+
+struct KnapsackResult {
+  double objective = 0.0;
+  std::vector<int> x;
+};
+
+/// Exact DP over integer weights.  `capacity` >= 0; weights >= 0.  Items
+/// with zero weight and positive value are taken at their bound up front.
+KnapsackResult solve_bounded_knapsack(const std::vector<std::int64_t>& weights,
+                                      std::int64_t capacity,
+                                      const std::vector<double>& values,
+                                      const std::vector<int>& upper);
+
+/// Real-weight convenience wrapper: quantises weights onto a grid of
+/// `resolution` buckets spanning the capacity (conservative rounding: item
+/// weights round *up*, so the returned solution is always feasible for the
+/// original real-valued constraint; it may be slightly sub-optimal, with the
+/// gap shrinking as resolution grows).
+KnapsackResult solve_bounded_knapsack_real(const std::vector<double>& weights,
+                                           double capacity,
+                                           const std::vector<double>& values,
+                                           const std::vector<int>& upper,
+                                           std::int64_t resolution = 100000);
+
+}  // namespace wcdma::opt

@@ -1,0 +1,241 @@
+#include "src/opt/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::opt {
+
+const char* to_string(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+// Internal dense tableau.  Columns: [structural | slack/surplus | artificial],
+// final column is the RHS.  Row `m` is the objective row (reduced costs).
+struct Tableau {
+  std::size_t m = 0;          // constraint rows
+  std::size_t n_total = 0;    // columns excluding RHS
+  std::vector<double> t;      // (m+1) x (n_total+1)
+  std::vector<std::size_t> basis;
+
+  double& at(std::size_t r, std::size_t c) { return t[r * (n_total + 1) + c]; }
+  double at(std::size_t r, std::size_t c) const { return t[r * (n_total + 1) + c]; }
+  double& rhs(std::size_t r) { return at(r, n_total); }
+  double rhs(std::size_t r) const { return at(r, n_total); }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pivot_val = at(pr, pc);
+    WCDMA_DEBUG_ASSERT(std::fabs(pivot_val) > 1e-14);
+    const double inv = 1.0 / pivot_val;
+    for (std::size_t c = 0; c <= n_total; ++c) at(pr, c) *= inv;
+    for (std::size_t r = 0; r <= m; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c <= n_total; ++c) at(r, c) -= f * at(pr, c);
+    }
+    basis[pr] = pc;
+  }
+};
+
+enum class IterStatus { kOptimal, kUnbounded, kLimit };
+
+// Runs simplex iterations on the current objective row until no improving
+// column remains.  `allowed_cols` masks columns eligible to enter.
+IterStatus iterate(Tableau& tab, const std::vector<bool>& allowed_cols, double tol,
+                   int max_iter, int bland_after, int& iterations) {
+  for (int it = 0; it < max_iter; ++it) {
+    ++iterations;
+    const bool bland = it >= bland_after;
+    // Entering column: maximisation, so pick positive reduced cost in the
+    // objective row (stored negated: we keep z-row as c_bar, enter on > tol).
+    std::size_t enter = tab.n_total;
+    double best = tol;
+    for (std::size_t c = 0; c < tab.n_total; ++c) {
+      if (!allowed_cols[c]) continue;
+      const double rc = tab.at(tab.m, c);
+      if (rc > tol) {
+        if (bland) {
+          enter = c;
+          break;
+        }
+        if (rc > best) {
+          best = rc;
+          enter = c;
+        }
+      }
+    }
+    if (enter == tab.n_total) return IterStatus::kOptimal;
+
+    // Ratio test (Bland tie-break on basis index).
+    std::size_t leave = tab.m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < tab.m; ++r) {
+      const double a = tab.at(r, enter);
+      if (a > tol) {
+        const double ratio = tab.rhs(r) / a;
+        if (ratio < best_ratio - tol ||
+            (ratio < best_ratio + tol && (leave == tab.m || tab.basis[r] < tab.basis[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == tab.m) return IterStatus::kUnbounded;
+    tab.pivot(leave, enter);
+  }
+  return IterStatus::kLimit;
+}
+
+}  // namespace
+
+LpResult SimplexSolver::solve(const LpProblem& problem) const {
+  const std::size_t n = problem.c.size();
+  WCDMA_ASSERT(problem.a.cols() == n || problem.a.rows() == 0);
+  WCDMA_ASSERT(problem.a.rows() == problem.b.size());
+  WCDMA_ASSERT(problem.upper.empty() || problem.upper.size() == n);
+
+  // Assemble the row set: A rows plus optional upper-bound singleton rows.
+  std::size_t m = problem.a.rows();
+  const std::size_t bound_rows = problem.upper.empty() ? 0 : n;
+  m += bound_rows;
+
+  LpResult result;
+
+  // Column layout: n structural, m slack, plus one artificial per
+  // negative-RHS row (determined below).
+  std::vector<double> rhs(m);
+  std::vector<std::vector<double>> rows(m, std::vector<double>(n, 0.0));
+  for (std::size_t r = 0; r < problem.a.rows(); ++r) {
+    for (std::size_t c = 0; c < n; ++c) rows[r][c] = problem.a(r, c);
+    rhs[r] = problem.b[r];
+  }
+  for (std::size_t j = 0; j < bound_rows; ++j) {
+    const std::size_t r = problem.a.rows() + j;
+    rows[r][j] = 1.0;
+    rhs[r] = problem.upper[j];
+    WCDMA_ASSERT(problem.upper[j] >= 0.0);
+  }
+
+  // Negate negative-RHS rows; their slack coefficient becomes -1, so they
+  // need an artificial variable to form the initial basis.
+  std::vector<double> slack_sign(m, 1.0);
+  std::vector<bool> needs_artificial(m, false);
+  std::size_t n_art = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (rhs[r] < 0.0) {
+      for (auto& v : rows[r]) v = -v;
+      rhs[r] = -rhs[r];
+      slack_sign[r] = -1.0;
+      needs_artificial[r] = true;
+      ++n_art;
+    }
+  }
+
+  Tableau tab;
+  tab.m = m;
+  tab.n_total = n + m + n_art;
+  tab.t.assign((m + 1) * (tab.n_total + 1), 0.0);
+  tab.basis.assign(m, 0);
+
+  std::size_t art_col = n + m;
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) tab.at(r, c) = rows[r][c];
+    tab.at(r, n + r) = slack_sign[r];
+    if (needs_artificial[r]) {
+      tab.at(r, art_col) = 1.0;
+      tab.basis[r] = art_col;
+      ++art_col;
+    } else {
+      tab.basis[r] = n + r;
+    }
+    tab.rhs(r) = rhs[r];
+  }
+
+  std::vector<bool> allowed(tab.n_total, true);
+
+  // ---- Phase 1: drive artificials to zero (maximize -sum artificials).
+  if (n_art > 0) {
+    for (std::size_t c = n + m; c < tab.n_total; ++c) tab.at(m, c) = -1.0;
+    // Price out the artificial basis columns.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (tab.basis[r] >= n + m) {
+        for (std::size_t c = 0; c <= tab.n_total; ++c) tab.at(m, c) += tab.at(r, c);
+      }
+    }
+    const IterStatus st = iterate(tab, allowed, options_.tol, options_.max_iterations,
+                                  options_.bland_after, result.iterations);
+    if (st == IterStatus::kLimit) {
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+    // With the z-row initialised to the objective coefficients and pivots
+    // subtracting f * pivot-row, rhs(m) tracks the *negated* objective:
+    // phase-1 value is -rhs(m), so any residual artificial mass shows up as
+    // a positive rhs(m).
+    if (tab.rhs(m) > options_.tol * 10.0) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Pivot any remaining (degenerate) artificials out of the basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (tab.basis[r] >= n + m) {
+        std::size_t enter = tab.n_total;
+        for (std::size_t c = 0; c < n + m; ++c) {
+          if (std::fabs(tab.at(r, c)) > options_.tol) {
+            enter = c;
+            break;
+          }
+        }
+        if (enter != tab.n_total) tab.pivot(r, enter);
+        // Else the row is all-zero: redundant constraint, harmless.
+      }
+    }
+    for (std::size_t c = n + m; c < tab.n_total; ++c) allowed[c] = false;
+    // Reset objective row for phase 2.
+    for (std::size_t c = 0; c <= tab.n_total; ++c) tab.at(m, c) = 0.0;
+  }
+
+  // ---- Phase 2: real objective.  z-row holds reduced costs c_bar.
+  for (std::size_t c = 0; c < n; ++c) tab.at(m, c) = problem.c[c];
+  // Price out the current basis.
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t bc = tab.basis[r];
+    if (bc < n && problem.c[bc] != 0.0) {
+      const double f = problem.c[bc];
+      for (std::size_t c = 0; c <= tab.n_total; ++c) tab.at(m, c) -= f * tab.at(r, c);
+    }
+  }
+
+  const IterStatus st = iterate(tab, allowed, options_.tol, options_.max_iterations,
+                                options_.bland_after, result.iterations);
+  if (st == IterStatus::kLimit) {
+    result.status = LpStatus::kIterationLimit;
+    return result;
+  }
+  if (st == IterStatus::kUnbounded) {
+    result.status = LpStatus::kUnbounded;
+    return result;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (tab.basis[r] < n) result.x[tab.basis[r]] = tab.rhs(r);
+  }
+  result.objective = common::dot(problem.c, result.x);
+  return result;
+}
+
+LpResult solve_lp(const LpProblem& problem) { return SimplexSolver().solve(problem); }
+
+}  // namespace wcdma::opt

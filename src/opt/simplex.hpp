@@ -1,0 +1,64 @@
+// Dense two-phase tableau simplex for small linear programs.
+//
+//     maximize    c' x
+//     subject to  A x <= b,   0 <= x  (optionally x <= u)
+//
+// This is the LP-relaxation engine behind the branch-and-bound solver for
+// the burst-scheduling integer program (Section 3.2).  Problem sizes are
+// tiny (tens of rows/columns), so a dense tableau with Dantzig pricing and
+// a Bland anti-cycling fallback is simple, robust, and fast enough by a
+// large margin.  Rows with negative right-hand sides are handled by a
+// phase-1 artificial-variable pass, so callers may hand over admissible
+// regions from overloaded cells unmodified.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/matrix.hpp"
+
+namespace wcdma::opt {
+
+struct LpProblem {
+  common::Matrix a;   // m x n
+  common::Vector b;   // m
+  common::Vector c;   // n (maximisation)
+  /// Optional per-variable upper bounds (empty = none).  Applied by adding
+  /// singleton rows; fine at these sizes.
+  common::Vector upper;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* to_string(LpStatus s);
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  common::Vector x;
+  int iterations = 0;
+};
+
+class SimplexSolver {
+ public:
+  struct Options {
+    double tol = 1e-9;
+    int max_iterations = 10000;
+    /// Switch from Dantzig to Bland pricing after this many iterations
+    /// (guarantees termination).
+    int bland_after = 500;
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(const Options& options) : options_(options) {}
+
+  LpResult solve(const LpProblem& problem) const;
+
+ private:
+  Options options_{};
+};
+
+/// Convenience wrapper.
+LpResult solve_lp(const LpProblem& problem);
+
+}  // namespace wcdma::opt

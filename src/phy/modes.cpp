@@ -1,0 +1,59 @@
+#include "src/phy/modes.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::phy {
+
+double TransmissionMode::ber(double gamma) const {
+  WCDMA_DEBUG_ASSERT(gamma >= 0.0);
+  const double v = ber_a * std::exp(-ber_b * gamma);
+  return v > 0.5 ? 0.5 : v;
+}
+
+double TransmissionMode::gamma_for_ber(double target_ber) const {
+  WCDMA_ASSERT(target_ber > 0.0 && target_ber < ber_a);
+  return std::log(ber_a / target_ber) / ber_b;
+}
+
+ModeSet::ModeSet(std::vector<TransmissionMode> modes) : modes_(std::move(modes)) {
+  WCDMA_ASSERT(!modes_.empty());
+  for (std::size_t i = 1; i < modes_.size(); ++i) {
+    // The ladder must be strictly ordered: more throughput, less protection.
+    WCDMA_ASSERT(modes_[i].throughput > modes_[i - 1].throughput);
+    WCDMA_ASSERT(modes_[i].ber_b < modes_[i - 1].ber_b);
+  }
+}
+
+const TransmissionMode& ModeSet::mode(int q) const {
+  WCDMA_ASSERT(q >= 1 && static_cast<std::size_t>(q) <= modes_.size());
+  return modes_[static_cast<std::size_t>(q - 1)];
+}
+
+std::string ModeSet::describe() const {
+  std::string out;
+  char buf[128];
+  for (const auto& m : modes_) {
+    std::snprintf(buf, sizeof(buf), "mode-%d: beta=%.5g a=%.3g b=%.5g\n", m.index,
+                  m.throughput, m.ber_a, m.ber_b);
+    out += buf;
+  }
+  return out;
+}
+
+ModeSet make_vtaoc_modes(const VtaocParams& params) {
+  WCDMA_ASSERT(params.num_modes >= 1);
+  std::vector<TransmissionMode> modes(static_cast<std::size_t>(params.num_modes));
+  for (int q = 1; q <= params.num_modes; ++q) {
+    TransmissionMode& m = modes[static_cast<std::size_t>(q - 1)];
+    m.index = q;
+    m.throughput = params.top_throughput / std::pow(2.0, params.num_modes - q);
+    m.ber_a = params.a;
+    m.ber_b = params.b1 / std::pow(2.0, q - 1);
+  }
+  return ModeSet(std::move(modes));
+}
+
+}  // namespace wcdma::phy

@@ -1,0 +1,113 @@
+// Scenario configuration for the dynamic system simulator.
+//
+// Defaults reconstruct the paper's setting (DESIGN.md section 6): 19-cell
+// wrap-around hex layout, cdma2000-class numerology, on/off voice plus
+// WWW-style data users, and the JABA-SD admission stack.  Every knob the
+// benches sweep lives here so experiments are plain config edits.
+#pragma once
+
+#include <cstdint>
+
+#include "src/admission/objectives.hpp"
+#include "src/admission/schedulers.hpp"
+#include "src/cell/active_set.hpp"
+#include "src/cell/geometry.hpp"
+#include "src/cell/mobility.hpp"
+#include "src/channel/channel.hpp"
+#include "src/channel/path_loss.hpp"
+#include "src/mac/mac_state.hpp"
+#include "src/phy/adaptation.hpp"
+#include "src/phy/modes.hpp"
+#include "src/phy/spreading.hpp"
+
+namespace wcdma::sim {
+
+struct RadioConfig {
+  double bs_max_power_w = 20.0;     // P_max (Eq. 7)
+  double pilot_power_w = 2.0;       // per-BS forward pilot
+  double common_power_w = 1.0;      // paging/sync overhead
+  double noise_figure_db = 5.0;
+  double orthogonality_loss = 0.4;  // own-cell forward interference fraction
+  double rise_over_thermal_db = 6.0;  // reverse cap: L_max = N * 10^(x/10)
+  double mobile_max_power_dbm = 23.0;
+  double fch_ebio_target_db = 7.0;  // FCH Eb/I0 target (voice & data)
+  /// Power fraction of the full-rate FCH that a data user consumes while in
+  /// Control Hold (Fig. 3): only the low-rate dedicated control channel is
+  /// up between bursts.
+  double dcch_fraction = 0.125;
+};
+
+struct VoiceScenario {
+  int users = 60;
+  double mean_on_s = 1.0;
+  double mean_off_s = 1.5;
+};
+
+struct DataScenario {
+  int users = 12;
+  double pareto_alpha = 1.7;
+  double min_burst_bytes = 4096.0;
+  double max_burst_bytes = 2.0e6;
+  double mean_reading_s = 4.0;
+  /// Fraction of data users whose bursts are forward-link (downloads).
+  double forward_fraction = 0.5;
+  /// Fraction of data users with elevated priority Delta_j = priority_boost.
+  double high_priority_fraction = 0.0;
+  double priority_boost = 0.5;
+};
+
+struct PhyScenario {
+  phy::VtaocParams vtaoc{};           // 6-mode ladder
+  double target_ber = 1e-3;           // SCH constant-BER operating point
+  phy::FloorPolicy floor = phy::FloorPolicy::kOutage;
+  std::size_t feedback_delay_frames = 1;
+  double feedback_error_db = 0.5;
+  /// Non-adaptive ablation: run the SCH at this fixed mode instead of
+  /// adapting (0 = adaptive VTAOC).  Used by the E8 synergy bench.
+  int fixed_mode = 0;
+};
+
+struct AdmissionScenario {
+  admission::SchedulerKind scheduler = admission::SchedulerKind::kJabaSd;
+  admission::ObjectiveKind objective = admission::ObjectiveKind::kJ2DelayAware;
+  admission::DelayPenaltyConfig penalty{};
+  double min_burst_s = 0.080;  // T_min of Eq. 24 (4 frames)
+  double kappa_margin_db = 2.0;  // neighbour-projection shadowing margin
+  double zeta_fch_pilot_ratio = 2.0;  // FCH/pilot transmit ratio at mobile
+  /// SCRM persistence: a rejected request may not re-enter the scheduling
+  /// round for this long (the cdma2000 request/retry cycle; rejection has a
+  /// real cost, which is why the burst grant decision matters).  0 disables.
+  double scrm_retry_s = 0.26;
+};
+
+struct SystemConfig {
+  std::uint64_t seed = 42;
+  double frame_s = 0.020;
+  double sim_duration_s = 120.0;
+  double warmup_s = 10.0;
+
+  cell::HexLayoutConfig layout{};          // 19 cells by default
+  cell::MobilityConfig mobility{};
+  cell::ActiveSetConfig active_set{};
+  channel::PathLossConfig path_loss{};
+  channel::ShadowingConfig shadowing{};
+  channel::FadingKind fading = channel::FadingKind::kAr1;
+  double carrier_hz = 2.0e9;
+
+  phy::SpreadingConfig spreading{};        // includes gamma_s and M
+  RadioConfig radio{};
+  VoiceScenario voice{};
+  DataScenario data{};
+  PhyScenario phy{};
+  AdmissionScenario admission{};
+  mac::MacTimersConfig mac_timers{};
+
+  /// Aborts on invalid combinations; returns *this for chaining.
+  const SystemConfig& validate() const;
+};
+
+/// Baseline defaults used by benches/examples; spreading.gamma_s and friends
+/// tuned per DESIGN.md section 6.
+SystemConfig default_config();
+
+}  // namespace wcdma::sim

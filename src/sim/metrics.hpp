@@ -1,0 +1,68 @@
+// Metric collection for the dynamic simulations: the paper's evaluation
+// axes are average packet (burst) delay, data-user capacity, and coverage,
+// with BER/outage and utilisation as supporting signals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.hpp"
+
+namespace wcdma::sim {
+
+inline constexpr std::size_t kCoverageBins = 12;
+
+struct SimMetrics {
+  // Burst (packet) delay: arrival -> last bit delivered.
+  common::StreamingMoments burst_delay_s;
+  common::Histogram delay_hist{0.0, 60.0, 240};
+  // Queueing component only: arrival -> grant.
+  common::StreamingMoments queue_delay_s;
+  // Granted spreading-gain ratios (m_j > 0 only).
+  common::StreamingMoments granted_sgr;
+  // SCH throughput actually delivered, bits/s averaged over data users.
+  double data_bits_delivered = 0.0;
+  double observed_s = 0.0;
+  // Delay binned by normalised distance from the serving BS at burst
+  // arrival (coverage, E7): bin i covers [i, i+1) * (1.2 R / kCoverageBins).
+  std::vector<common::StreamingMoments> delay_by_distance{kCoverageBins};
+
+  // PHY health.
+  std::int64_t sch_frames = 0;          // frames with an active SCH burst
+  std::int64_t sch_outage_frames = 0;   // VTAOC below mode-1 threshold
+  std::int64_t ber_violation_frames = 0;
+  std::vector<std::int64_t> mode_frames = std::vector<std::int64_t>(8, 0);
+
+  // Admission activity.
+  std::int64_t requests_seen = 0;
+  std::int64_t grants = 0;
+  std::int64_t reject_rounds = 0;  // scheduling rounds that granted nothing
+  common::StreamingMoments pending_queue_len;
+
+  // Network load.
+  common::StreamingMoments forward_load_fraction;  // P_k / P_max
+  common::StreamingMoments reverse_rise_db;        // 10log10(L_k / N)
+  std::int64_t bs_power_saturations = 0;
+  std::int64_t mobile_power_saturations = 0;
+  common::StreamingMoments voice_sir_error_db;     // achieved - target
+
+  void merge(const SimMetrics& other);
+
+  double mean_delay_s() const { return burst_delay_s.mean(); }
+  double p95_delay_s() const { return delay_hist.percentile(0.95); }
+  double data_throughput_bps() const {
+    return observed_s > 0.0 ? data_bits_delivered / observed_s : 0.0;
+  }
+  double sch_outage_rate() const {
+    return sch_frames > 0 ? static_cast<double>(sch_outage_frames) /
+                                static_cast<double>(sch_frames)
+                          : 0.0;
+  }
+  double grant_rate() const {
+    return requests_seen > 0 ? static_cast<double>(grants) /
+                                   static_cast<double>(requests_seen)
+                             : 0.0;
+  }
+};
+
+}  // namespace wcdma::sim

@@ -1,0 +1,32 @@
+#include "src/sim/monte_carlo.hpp"
+
+#include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wcdma::sim {
+
+MonteCarloResult run_replications(const SystemConfig& config, std::size_t replications,
+                                  std::size_t threads) {
+  if (threads == 0) threads = common::default_thread_count();
+  const std::vector<std::uint64_t> seeds =
+      common::derive_seeds(config.seed, replications);
+
+  std::vector<SimMetrics> per_rep(replications);
+  common::parallel_for_index(replications, threads, [&](std::size_t i) {
+    SystemConfig rep_config = config;
+    rep_config.seed = seeds[i];
+    Simulator simulator(rep_config);
+    per_rep[i] = simulator.run();
+  });
+
+  MonteCarloResult result;
+  result.replication_mean_delay_s.reserve(replications);
+  for (const auto& m : per_rep) {
+    result.merged.merge(m);
+    result.replication_mean_delay_s.push_back(m.mean_delay_s());
+  }
+  return result;
+}
+
+}  // namespace wcdma::sim

@@ -1,0 +1,27 @@
+// Parallel Monte-Carlo replication driver.
+//
+// Replications are embarrassingly parallel: each gets an independent seed
+// derived from (master seed, replication index), runs a full Simulator, and
+// the merged metrics are identical for any worker count (DESIGN.md D7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/config.hpp"
+#include "src/sim/metrics.hpp"
+
+namespace wcdma::sim {
+
+struct MonteCarloResult {
+  SimMetrics merged;
+  /// Per-replication mean burst delays, for confidence intervals.
+  std::vector<double> replication_mean_delay_s;
+};
+
+/// Runs `replications` independent simulations of `config` (seed varied per
+/// replication) on up to `threads` workers (0 = hardware concurrency).
+MonteCarloResult run_replications(const SystemConfig& config, std::size_t replications,
+                                  std::size_t threads = 0);
+
+}  // namespace wcdma::sim

@@ -1,0 +1,579 @@
+#include "src/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/units.hpp"
+
+namespace wcdma::sim {
+
+namespace {
+
+constexpr double kTiny = 1e-30;
+
+power::PowerControlConfig forward_pc_config(const RadioConfig& radio) {
+  power::PowerControlConfig cfg;
+  cfg.target_sir_db = radio.fch_ebio_target_db;
+  cfg.min_power_dbm = -20.0;
+  cfg.max_power_dbm = 36.0;  // 4 W per-user forward cap
+  return cfg;
+}
+
+power::PowerControlConfig reverse_pc_config(const RadioConfig& radio) {
+  power::PowerControlConfig cfg;
+  cfg.target_sir_db = radio.fch_ebio_target_db;
+  cfg.min_power_dbm = -60.0;
+  cfg.max_power_dbm = radio.mobile_max_power_dbm;
+  return cfg;
+}
+
+}  // namespace
+
+Simulator::Simulator(const SystemConfig& config)
+    : config_(config),
+      layout_(config.layout),
+      path_loss_(config.path_loss),
+      spreading_(config.spreading),
+      policy_(phy::make_vtaoc_modes(config.phy.vtaoc), config.phy.target_ber,
+              config.phy.floor),
+      scheduler_(admission::make_scheduler(config.admission.scheduler, config.seed ^ 0x5cedu)),
+      rng_(config.seed) {
+  config_.validate();
+
+  noise_w_ = common::thermal_noise_watt(config_.spreading.chip_rate_hz,
+                                        config_.radio.noise_figure_db);
+  l_max_w_ = noise_w_ * common::db_to_linear(config_.radio.rise_over_thermal_db);
+  fch_pg_ = config_.spreading.chip_rate_hz / config_.spreading.fch_bit_rate;
+  fch_sir_target_ = common::db_to_linear(config_.radio.fch_ebio_target_db);
+
+  stations_.resize(layout_.num_cells());
+  const double idle_w = config_.radio.pilot_power_w + config_.radio.common_power_w;
+  for (auto& bs : stations_) {
+    bs.forward_w = idle_w;
+    bs.prev_forward_w = idle_w;
+    bs.received_w = noise_w_;
+  }
+
+  // Mobility region spans the whole layout unless the scenario pinned it.
+  cell::MobilityConfig mob = config_.mobility;
+  if (mob.region_radius_m <= 0.0) mob.region_radius_m = layout_.service_radius_m();
+
+  channel::LinkConfig link_cfg;
+  link_cfg.shadowing = config_.shadowing;
+  link_cfg.fading = config_.fading;
+  link_cfg.frame_s = config_.frame_s;
+
+  const int total_users = config_.voice.users + config_.data.users;
+  users_.reserve(static_cast<std::size_t>(total_users));
+  const auto fl_cfg = forward_pc_config(config_.radio);
+  const auto rl_cfg = reverse_pc_config(config_.radio);
+
+  for (int i = 0; i < total_users; ++i) {
+    common::Rng user_rng = rng_.fork(0x1000 + static_cast<std::uint64_t>(i));
+    users_.emplace_back(config_.active_set, layout_.num_cells(), fl_cfg, rl_cfg);
+    User& u = users_.back();
+    u.id = i;
+    u.is_data = i >= config_.voice.users;
+
+    u.mobility = std::make_unique<cell::RandomWaypoint>(mob, user_rng.fork(1));
+    const double speed = u.mobility->speed_mps();
+    link_cfg.doppler_hz = common::doppler_hz(std::max(speed, 0.3), config_.carrier_hz);
+    u.links.reserve(layout_.num_cells());
+    for (std::size_t k = 0; k < layout_.num_cells(); ++k) {
+      u.links.emplace_back(link_cfg, &path_loss_, user_rng.fork(100 + k));
+    }
+    u.gain_mean.assign(layout_.num_cells(), 0.0);
+    u.gain_inst.assign(layout_.num_cells(), 0.0);
+    u.pilot_fl.assign(layout_.num_cells(), 0.0);
+
+    if (u.is_data) {
+      traffic::DataTrafficConfig dc;
+      dc.pareto_alpha = config_.data.pareto_alpha;
+      dc.min_burst_bytes = config_.data.min_burst_bytes;
+      dc.max_burst_bytes = config_.data.max_burst_bytes;
+      dc.mean_reading_s = config_.data.mean_reading_s;
+      u.data.emplace(dc, user_rng.fork(2));
+      const int data_index = i - config_.voice.users;
+      u.forward_dir = data_index <
+                      static_cast<int>(std::lround(config_.data.forward_fraction *
+                                                   config_.data.users));
+      u.priority = (user_rng.fork(3).uniform() < config_.data.high_priority_fraction)
+                       ? config_.data.priority_boost
+                       : 0.0;
+      u.mac = mac::MacStateMachine(config_.mac_timers, mac::MacState::kDormant);
+      if (config_.phy.fixed_mode > 0) {
+        u.fixed = std::make_unique<phy::FixedRateAdapter>(
+            &policy_, config_.phy.fixed_mode, config_.phy.feedback_delay_frames,
+            config_.phy.feedback_error_db, user_rng.fork(4));
+      } else {
+        u.adapter = std::make_unique<phy::LinkAdapter>(
+            &policy_, config_.phy.feedback_delay_frames, config_.phy.feedback_error_db,
+            user_rng.fork(4));
+      }
+    } else {
+      traffic::VoiceConfig vc;
+      vc.mean_on_s = config_.voice.mean_on_s;
+      vc.mean_off_s = config_.voice.mean_off_s;
+      u.voice.emplace(vc, user_rng.fork(2));
+    }
+  }
+}
+
+SimMetrics Simulator::run() {
+  const std::int64_t frames =
+      static_cast<std::int64_t>(std::llround(config_.sim_duration_s / config_.frame_s));
+  for (std::int64_t f = 0; f < frames; ++f) step_frame();
+  return metrics_;
+}
+
+void Simulator::step_frame() {
+  step_mobility_and_channel();
+  step_forward_measurements();
+  step_reverse_measurements();
+  step_power_control();
+  step_traffic();
+  run_admission(mac::LinkDirection::kForward);
+  run_admission(mac::LinkDirection::kReverse);
+  step_transmission();
+  update_transmit_powers();
+  collect_frame_metrics();
+  now_s_ += config_.frame_s;
+  ++frame_count_;
+}
+
+void Simulator::step_mobility_and_channel() {
+  for (auto& u : users_) {
+    const double moved = u.mobility->step(config_.frame_s);
+    const cell::Point pos = u.mobility->position();
+    for (std::size_t k = 0; k < u.links.size(); ++k) {
+      u.links[k].set_distance(layout_.distance_to_cell(pos, k));
+      u.links[k].step(moved, config_.frame_s);
+      u.gain_mean[k] = u.links[k].mean_gain();
+      u.gain_inst[k] = u.links[k].instantaneous_gain();
+    }
+  }
+}
+
+void Simulator::step_forward_measurements() {
+  for (auto& u : users_) {
+    double total = noise_w_;
+    for (std::size_t k = 0; k < stations_.size(); ++k) {
+      total += stations_[k].prev_forward_w * u.gain_mean[k];
+    }
+    u.fwd_interference_w = total;
+    std::vector<double> pilot_db(stations_.size());
+    for (std::size_t k = 0; k < stations_.size(); ++k) {
+      u.pilot_fl[k] = config_.radio.pilot_power_w * u.gain_mean[k] / total;
+      pilot_db[k] = common::linear_to_db(std::max(u.pilot_fl[k], kTiny));
+    }
+    u.active_set.update(pilot_db, config_.frame_s);
+
+    // Own-cell orthogonality credit on the primary leg.
+    const std::size_t prim = u.active_set.primary();
+    const double own = stations_[prim].prev_forward_w * u.gain_mean[prim];
+    u.fwd_interference_eff_w =
+        total - (1.0 - config_.radio.orthogonality_loss) * own;
+    WCDMA_DEBUG_ASSERT(u.fwd_interference_eff_w > 0.0);
+  }
+}
+
+void Simulator::step_reverse_measurements() {
+  for (auto& bs : stations_) bs.received_w = noise_w_;
+  for (const auto& u : users_) {
+    if (u.prev_tx_w <= 0.0) continue;
+    for (std::size_t k = 0; k < stations_.size(); ++k) {
+      stations_[k].received_w += u.prev_tx_w * u.gain_mean[k];
+    }
+  }
+}
+
+void Simulator::step_power_control() {
+  for (auto& u : users_) {
+    u.fch_on = u.is_data
+                   ? (u.has_pending || u.burst.active ||
+                      u.mac.state() == mac::MacState::kActive ||
+                      u.mac.state() == mac::MacState::kControlHold)
+                   : u.voice_active;
+    if (!u.fch_on) {
+      u.fch_sir_linear = 0.0;
+      continue;
+    }
+    // Power control tracks the *local-mean* channel (path loss + shadowing):
+    // the paper assigns the fast-fading component to the adaptive PHY
+    // ("the fast fading component (Xl) is handled by the VTAOC system"),
+    // and a per-frame loop that chased Rayleigh fades would attempt the
+    // divergent E[1/h] inversion.
+    if (u.is_data && !u.forward_dir) {
+      // Reverse-link data user: control the mobile TX (pilot) power from the
+      // FCH Eb/I0 achieved at the primary BS.
+      const std::size_t prim = u.active_set.primary();
+      const double fch_tx =
+          u.rl_pc.power_watt() * config_.admission.zeta_fch_pilot_ratio;
+      const double sir = fch_tx * u.gain_mean[prim] * fch_pg_ /
+                         std::max(stations_[prim].received_w, kTiny) *
+                         u.active_set.reverse_adjustment();
+      u.fch_sir_linear = std::max(sir, kTiny);
+      u.rl_pc.update(common::linear_to_db(u.fch_sir_linear));
+      if (u.rl_pc.saturated() && !in_warmup()) ++metrics_.mobile_power_saturations;
+    } else {
+      // Forward FCH power control (voice users and forward data users).
+      const std::size_t prim = u.active_set.primary();
+      const double sir = u.fl_pc.power_watt() * u.gain_mean[prim] * fch_pg_ /
+                         std::max(u.fwd_interference_eff_w, kTiny);
+      u.fch_sir_linear = std::max(sir, kTiny);
+      u.fl_pc.update(common::linear_to_db(u.fch_sir_linear));
+      if (u.fl_pc.saturated() && !in_warmup()) ++metrics_.bs_power_saturations;
+      if (!u.is_data && !in_warmup()) {
+        metrics_.voice_sir_error_db.add(common::linear_to_db(u.fch_sir_linear) -
+                                        config_.radio.fch_ebio_target_db);
+      }
+    }
+    // Reverse-link voice/forward-data users still transmit a reverse pilot +
+    // FCH; track its power with the reverse loop as well.
+    if (!u.is_data || u.forward_dir) {
+      const std::size_t prim = u.active_set.primary();
+      const double fch_tx =
+          u.rl_pc.power_watt() * config_.admission.zeta_fch_pilot_ratio;
+      const double sir = fch_tx * u.gain_mean[prim] * fch_pg_ /
+                         std::max(stations_[prim].received_w, kTiny) *
+                         u.active_set.reverse_adjustment();
+      u.rl_pc.update(common::linear_to_db(std::max(sir, kTiny)));
+    }
+  }
+}
+
+void Simulator::step_traffic() {
+  for (auto& u : users_) {
+    if (u.voice) {
+      u.voice_active = u.voice->step(config_.frame_s);
+    }
+    if (u.data) {
+      if (const auto bytes = u.data->step(config_.frame_s)) {
+        u.has_pending = true;
+        u.pending_bits = *bytes * 8.0;
+        u.pending_arrival_s = now_s_;
+        if (!in_warmup()) ++metrics_.requests_seen;
+      }
+      u.mac.step(config_.frame_s, u.burst.active && u.burst.setup_left_s <= 0.0);
+    }
+  }
+}
+
+double Simulator::sch_mean_csi(const User& u) const {
+  // Eq. (3)-(5): the SCH runs gamma_s above the FCH symbol operating point;
+  // the local-mean SCH CSI follows the *achieved* FCH Eb/I0 (power control
+  // holds it near target; lag/caps show up as lower CSI).
+  const double fch_es =
+      std::max(u.fch_sir_linear, 0.05 * fch_sir_target_) * config_.spreading.fch_throughput;
+  return config_.spreading.gamma_s * fch_es;
+}
+
+double Simulator::delta_beta(const User& u) const {
+  const double eps = std::max(sch_mean_csi(u), 1e-6);
+  double beta_s;
+  if (u.fixed) {
+    beta_s = policy_.fixed_mode_avg_throughput_rayleigh(eps, u.fixed->fixed_mode());
+  } else {
+    beta_s = policy_.avg_throughput_rayleigh(eps);
+  }
+  // Clamp: a zero average throughput would make the request unschedulable
+  // and Eq. 24 ill-defined; floor at 2% of the FCH throughput.
+  beta_s = std::max(beta_s, 0.02 * config_.spreading.fch_throughput);
+  return beta_s / config_.spreading.fch_throughput;
+}
+
+int Simulator::mobile_tx_upper_bound(const User& u) const {
+  // Reverse-link SGR cap from the mobile's power budget: total TX =
+  // pilot * (1 + zeta + gamma_s * m * zeta) <= max.
+  const double pilot = u.rl_pc.power_watt();
+  const double max_w = common::dbm_to_watt(config_.radio.mobile_max_power_dbm);
+  const double zeta = config_.admission.zeta_fch_pilot_ratio;
+  const double room = max_w / std::max(pilot, kTiny) - 1.0 - zeta;
+  if (room <= 0.0) return 0;
+  return static_cast<int>(std::floor(room / (config_.spreading.gamma_s * zeta)));
+}
+
+std::size_t Simulator::coverage_bin(const User& u) const {
+  const std::size_t prim = u.active_set.primary();
+  const double d = layout_.distance_to_cell(u.mobility->position(), prim);
+  const double frac = d / (1.2 * layout_.cell_radius_m());
+  const auto bin = static_cast<std::size_t>(frac * static_cast<double>(kCoverageBins));
+  return std::min(bin, kCoverageBins - 1);
+}
+
+void Simulator::run_admission(mac::LinkDirection direction) {
+  // Gather pending requests for this direction.
+  std::vector<User*> pending;
+  for (auto& u : users_) {
+    if (!u.is_data || !u.has_pending || u.burst.active) continue;
+    if (now_s_ < u.next_eligible_s) continue;  // SCRM persistence gate
+    const bool fwd = direction == mac::LinkDirection::kForward;
+    if (u.forward_dir != fwd) continue;
+    pending.push_back(&u);
+  }
+  if (pending.empty()) return;
+
+  const std::size_t nd = pending.size();
+  admission::Region region;
+  std::vector<admission::RequestView> views(nd);
+  std::vector<int> tx_caps(nd, config_.spreading.max_sgr);
+
+  if (direction == mac::LinkDirection::kForward) {
+    admission::ForwardLinkInputs inputs;
+    inputs.p_max_watt = config_.radio.bs_max_power_w;
+    inputs.gamma_s = config_.spreading.gamma_s;
+    inputs.cell_load_watt.resize(stations_.size());
+    for (std::size_t k = 0; k < stations_.size(); ++k) {
+      inputs.cell_load_watt[k] = stations_[k].prev_forward_w;
+    }
+    inputs.users.resize(nd);
+    for (std::size_t j = 0; j < nd; ++j) {
+      const User& u = *pending[j];
+      auto& m = inputs.users[j];
+      m.alpha_fl = u.active_set.forward_adjustment();
+      for (std::size_t k : u.active_set.reduced()) {
+        m.reduced_active_set.push_back({k, u.fl_pc.power_watt()});
+      }
+    }
+    region = build_forward_region(inputs);
+  } else {
+    admission::ReverseLinkInputs inputs;
+    inputs.l_max_watt = l_max_w_;
+    inputs.gamma_s = config_.spreading.gamma_s;
+    inputs.kappa = common::db_to_linear(config_.admission.kappa_margin_db);
+    inputs.cell_interference_watt.resize(stations_.size());
+    for (std::size_t k = 0; k < stations_.size(); ++k) {
+      inputs.cell_interference_watt[k] = stations_[k].received_w;
+    }
+    inputs.users.resize(nd);
+    for (std::size_t j = 0; j < nd; ++j) {
+      const User& u = *pending[j];
+      auto& m = inputs.users[j];
+      m.zeta = config_.admission.zeta_fch_pilot_ratio;
+      m.alpha_rl = u.active_set.reverse_adjustment();
+      const double pilot_tx = u.rl_pc.power_watt();
+      for (std::size_t k : u.active_set.reduced()) {
+        const double xi_rl =
+            pilot_tx * u.gain_mean[k] / std::max(stations_[k].received_w, kTiny);
+        m.soft_handoff.push_back({k, std::max(xi_rl, kTiny)});
+      }
+      // SCRM: up to 8 strongest forward pilots (footnote 6).
+      std::vector<std::pair<double, std::size_t>> ranked;
+      for (std::size_t k = 0; k < stations_.size(); ++k) ranked.push_back({u.pilot_fl[k], k});
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const std::size_t n_report = std::min<std::size_t>(ranked.size(), 8);
+      for (std::size_t i = 0; i < n_report; ++i) {
+        m.scrm_pilots.push_back({ranked[i].second, ranked[i].first});
+      }
+      tx_caps[j] = mobile_tx_upper_bound(u);
+    }
+    region = build_reverse_region(inputs);
+  }
+
+  for (std::size_t j = 0; j < nd; ++j) {
+    const User& u = *pending[j];
+    views[j].user = u.id;
+    views[j].q_bits = u.pending_bits;
+    views[j].waiting_s = now_s_ - u.pending_arrival_s;
+    views[j].priority = u.priority;
+    views[j].delta_beta = delta_beta(u);
+  }
+
+  admission::BurstProblem problem = admission::make_burst_problem(
+      std::move(region), std::move(views), config_.admission.objective,
+      config_.admission.penalty, config_.mac_timers, config_.spreading.fch_bit_rate,
+      config_.admission.min_burst_s, config_.spreading.max_sgr);
+  for (std::size_t j = 0; j < nd; ++j) {
+    problem.upper[j] = std::min(problem.upper[j], tx_caps[j]);
+  }
+
+  const admission::Allocation alloc = scheduler_->schedule(problem);
+  WCDMA_ASSERT(problem.region.admits(alloc.m));
+
+  int granted = 0;
+  for (std::size_t j = 0; j < nd; ++j) {
+    if (alloc.m[j] <= 0) {
+      pending[j]->next_eligible_s = now_s_ + config_.admission.scrm_retry_s;
+      continue;
+    }
+    User& u = *pending[j];
+    const double waited = now_s_ - u.pending_arrival_s;
+    u.burst.active = true;
+    u.burst.m = alloc.m[j];
+    u.burst.remaining_bits = u.pending_bits;
+    u.burst.arrival_s = u.pending_arrival_s;
+    u.burst.setup_left_s = mac::setup_delay_for_wait(config_.mac_timers, waited);
+    u.burst.distance_bin = coverage_bin(u);
+    u.has_pending = false;
+    ++granted;
+    if (!in_warmup()) {
+      ++metrics_.grants;
+      metrics_.queue_delay_s.add(waited);
+      metrics_.granted_sgr.add(static_cast<double>(alloc.m[j]));
+    }
+  }
+  if (granted == 0 && !in_warmup()) ++metrics_.reject_rounds;
+}
+
+void Simulator::step_transmission() {
+  for (auto& u : users_) {
+    if (!u.burst.active) continue;
+    if (u.burst.setup_left_s > 0.0) {
+      u.burst.setup_left_s -= config_.frame_s;
+      continue;
+    }
+    // Instantaneous SCH CSI (Eq. 3): gamma = Xl * eps, the Rayleigh power
+    // factor of the serving link over the local-mean operating point that
+    // power control maintains.
+    const std::size_t prim = u.active_set.primary();
+    const double true_csi = sch_mean_csi(u) * u.links[prim].fading_factor();
+    phy::FrameOutcome out;
+    if (u.fixed) {
+      // Non-adaptive baseline: the whole frame is committed to one mode on
+      // frame-old CSI; staleness produces real BER violations.
+      out = u.fixed->on_frame(true_csi);
+    } else {
+      // Symbol-by-symbol VTAOC (Section 2.2): a 20 ms frame spans many
+      // per-symbol adaptation decisions, so the frame's delivered
+      // throughput is the Rayleigh ensemble average at the local-mean
+      // operating point, and the constant-BER property holds by
+      // construction (footnote 1).  The instantaneous selection below is
+      // kept as the representative symbol for mode-occupancy statistics.
+      const phy::ModeDecision representative = policy_.select(true_csi);
+      out.mode = representative.mode;
+      out.throughput = policy_.avg_throughput_rayleigh(sch_mean_csi(u));
+      out.realized_ber = policy_.target_ber();
+      out.ber_violation = false;
+    }
+    if (!in_warmup()) {
+      ++metrics_.sch_frames;
+      if (out.mode == 0) {
+        ++metrics_.sch_outage_frames;
+      } else if (static_cast<std::size_t>(out.mode) < metrics_.mode_frames.size()) {
+        ++metrics_.mode_frames[static_cast<std::size_t>(out.mode)];
+      }
+      if (out.ber_violation) ++metrics_.ber_violation_frames;
+    }
+    // Fixed-PHY frames transmitted far above the BER target (stale feedback
+    // during a fade) blow their error budget and are retransmitted by ARQ:
+    // no payload drains.  A 2x margin reflects the FEC slack around the
+    // operating point; marginal exceedances still decode.  The adaptive
+    // VTAOC path never erases (constant BER by construction).
+    const bool frame_erased =
+        out.mode > 0 && out.realized_ber > 2.0 * policy_.target_ber();
+    const bool delivers = u.fixed ? (out.mode > 0 && !frame_erased) : true;
+    if (delivers) {
+      // Eq. 4: Rs = Rf * m * beta_s / beta_f, integrated over the frame.
+      const double rate = config_.spreading.fch_bit_rate * u.burst.m * out.throughput /
+                          config_.spreading.fch_throughput;
+      const double bits = rate * config_.frame_s;
+      u.burst.remaining_bits -= bits;
+      if (!in_warmup()) metrics_.data_bits_delivered += std::min(bits, bits + u.burst.remaining_bits);
+    }
+    if (u.burst.remaining_bits <= 0.0) {
+      const double delay = now_s_ + config_.frame_s - u.burst.arrival_s;
+      if (!in_warmup()) {
+        metrics_.burst_delay_s.add(delay);
+        metrics_.delay_hist.add(delay);
+        metrics_.delay_by_distance[u.burst.distance_bin].add(delay);
+      }
+      u.burst = Burst{};
+      u.data->notify_burst_done();
+    }
+  }
+}
+
+void Simulator::update_transmit_powers() {
+  const double idle_w = config_.radio.pilot_power_w + config_.radio.common_power_w;
+  for (auto& bs : stations_) bs.forward_w = idle_w;
+
+  for (auto& u : users_) {
+    // Data users between bursts hold only the low-rate DCCH (Control Hold,
+    // Fig. 3): a fraction of the full-rate FCH power.  The full FCH comes
+    // up with the burst; the measurement sub-layer prices SCH grants off
+    // the full-rate FCH power, which is what will actually be transmitted.
+    const bool bursting = u.burst.active;
+    const double fch_scale =
+        (u.is_data && !bursting) ? config_.radio.dcch_fraction : 1.0;
+
+    // Forward contributions: FCH from every active-set leg; SCH (forward
+    // bursts) from every reduced-active-set leg at gamma_s * m * FCH power
+    // (Eq. 5-6).
+    if (u.fch_on && (!u.is_data || u.forward_dir)) {
+      const double fch_w = u.fl_pc.power_watt() * fch_scale;
+      for (std::size_t k : u.active_set.members()) stations_[k].forward_w += fch_w;
+      if (bursting && u.is_data) {
+        const double sch_w =
+            config_.spreading.gamma_s * u.burst.m * u.fl_pc.power_watt();
+        for (std::size_t k : u.active_set.reduced()) stations_[k].forward_w += sch_w;
+      }
+    }
+
+    // Mobile TX: pilot + FCH/DCCH (+ SCH for reverse bursts).
+    double tx = 0.0;
+    if (u.fch_on) {
+      const double pilot = u.rl_pc.power_watt();
+      tx = pilot * (1.0 + config_.admission.zeta_fch_pilot_ratio * fch_scale);
+      if (bursting && u.is_data && !u.forward_dir) {
+        tx += pilot * config_.admission.zeta_fch_pilot_ratio * config_.spreading.gamma_s *
+              u.burst.m;
+      }
+      const double cap = common::dbm_to_watt(config_.radio.mobile_max_power_dbm);
+      if (tx > cap) {
+        tx = cap;
+        if (!in_warmup()) ++metrics_.mobile_power_saturations;
+      }
+    }
+    u.prev_tx_w = tx;
+  }
+
+  for (auto& bs : stations_) {
+    if (bs.forward_w > config_.radio.bs_max_power_w) {
+      // Scale traffic power down to the cap (pilot/common are protected).
+      const double traffic = bs.forward_w - idle_w;
+      const double allowed = config_.radio.bs_max_power_w - idle_w;
+      WCDMA_DEBUG_ASSERT(traffic > 0.0);
+      bs.forward_w = idle_w + std::min(traffic, allowed);
+      if (!in_warmup()) ++metrics_.bs_power_saturations;
+    }
+    bs.prev_forward_w = bs.forward_w;
+  }
+}
+
+void Simulator::collect_frame_metrics() {
+  if (in_warmup()) return;
+  metrics_.observed_s += config_.frame_s;
+  for (const auto& bs : stations_) {
+    metrics_.forward_load_fraction.add(bs.forward_w / config_.radio.bs_max_power_w);
+    metrics_.reverse_rise_db.add(common::linear_to_db(bs.received_w / noise_w_));
+  }
+  int queue = 0;
+  for (const auto& u : users_) queue += (u.has_pending && !u.burst.active) ? 1 : 0;
+  metrics_.pending_queue_len.add(static_cast<double>(queue));
+}
+
+double Simulator::forward_power_w(std::size_t cell) const {
+  WCDMA_ASSERT(cell < stations_.size());
+  return stations_[cell].forward_w;
+}
+
+double Simulator::reverse_interference_w(std::size_t cell) const {
+  WCDMA_ASSERT(cell < stations_.size());
+  return stations_[cell].received_w;
+}
+
+int Simulator::active_bursts() const {
+  int n = 0;
+  for (const auto& u : users_) n += u.burst.active ? 1 : 0;
+  return n;
+}
+
+int Simulator::pending_requests() const {
+  int n = 0;
+  for (const auto& u : users_) n += (u.has_pending && !u.burst.active) ? 1 : 0;
+  return n;
+}
+
+}  // namespace wcdma::sim

@@ -1,0 +1,158 @@
+// Frame-driven dynamic system simulator (DESIGN.md S26).
+//
+// Reproduces the evaluation substrate the paper describes: "the system is
+// evaluated by dynamic simulations which takes into account of the user
+// mobility, power control, and soft hand-off".  Each 20 ms frame the
+// simulator moves users, evolves shadowing/fading, runs closed-loop power
+// control on the fundamental channels, updates soft-handoff active sets,
+// generates voice activity and data bursts, runs the burst admission stack
+// (measurement sub-layer -> scheduling sub-layer -> grants), and transmits
+// active SCH bursts through the adaptive VTAOC physical layer.
+//
+// Interference is resolved as a lagged fixed point: frame t uses the
+// transmit powers of frame t-1 as the interference background, the standard
+// technique for dynamic CDMA system simulations.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/admission/measurement.hpp"
+#include "src/admission/schedulers.hpp"
+#include "src/cell/active_set.hpp"
+#include "src/cell/geometry.hpp"
+#include "src/cell/mobility.hpp"
+#include "src/channel/channel.hpp"
+#include "src/channel/path_loss.hpp"
+#include "src/mac/mac_state.hpp"
+#include "src/mac/scrm.hpp"
+#include "src/phy/adaptation.hpp"
+#include "src/phy/link_adapter.hpp"
+#include "src/phy/spreading.hpp"
+#include "src/power/power_control.hpp"
+#include "src/sim/config.hpp"
+#include "src/sim/metrics.hpp"
+#include "src/traffic/data.hpp"
+#include "src/traffic/voice.hpp"
+
+namespace wcdma::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(const SystemConfig& config);
+
+  /// Runs the configured duration and returns the (post-warmup) metrics.
+  SimMetrics run();
+
+  /// Advances exactly one frame (exposed for tests and custom drivers).
+  void step_frame();
+
+  double now_s() const { return now_s_; }
+  const SimMetrics& metrics() const { return metrics_; }
+  const SystemConfig& config() const { return config_; }
+
+  // --- Introspection for tests/examples ---
+  std::size_t num_cells() const { return layout_.num_cells(); }
+  std::size_t num_users() const { return users_.size(); }
+  double forward_power_w(std::size_t cell) const;
+  double reverse_interference_w(std::size_t cell) const;
+  double thermal_noise_w() const { return noise_w_; }
+  int active_bursts() const;
+  int pending_requests() const;
+
+ private:
+  struct BaseStation {
+    double forward_w = 0.0;       // current frame total TX power
+    double prev_forward_w = 0.0;  // last frame (interference background)
+    double received_w = 0.0;      // L_k this frame
+  };
+
+  struct Burst {
+    bool active = false;
+    int m = 0;                 // granted spreading-gain ratio
+    double remaining_bits = 0.0;
+    double arrival_s = 0.0;
+    double setup_left_s = 0.0;
+    std::size_t distance_bin = 0;  // coverage bin captured at arrival
+  };
+
+  struct User {
+    int id = 0;
+    bool is_data = false;
+    bool forward_dir = true;  // data users: burst direction
+    double priority = 0.0;    // Delta_j
+
+    std::unique_ptr<cell::MobilityModel> mobility;
+    std::vector<channel::Link> links;  // one per cell
+    cell::ActiveSet active_set;
+    power::ClosedLoopPowerControl fl_pc;  // FCH forward power (per leg)
+    power::ClosedLoopPowerControl rl_pc;  // reverse pilot TX power
+    std::optional<traffic::VoiceSource> voice;
+    std::optional<traffic::DataSource> data;
+    mac::MacStateMachine mac;
+    std::unique_ptr<phy::LinkAdapter> adapter;        // adaptive VTAOC
+    std::unique_ptr<phy::FixedRateAdapter> fixed;     // ablation PHY
+
+    bool voice_active = false;
+    bool fch_on = false;
+    double prev_tx_w = 0.0;  // total mobile TX power last frame
+
+    // Pending burst request (at most one; mirrors mac::RequestQueue
+    // semantics but kept inline for the hot loop).
+    bool has_pending = false;
+    double pending_bits = 0.0;
+    double pending_arrival_s = 0.0;
+    double next_eligible_s = 0.0;  // SCRM retry gate after a rejection
+
+    Burst burst;
+
+    // Per-frame caches.
+    std::vector<double> gain_mean;   // local-mean gain per cell
+    std::vector<double> gain_inst;   // instantaneous gain per cell
+    std::vector<double> pilot_fl;    // forward pilot Ec/Io (linear) per cell
+    double fwd_interference_w = 0.0; // total received forward power + noise
+    double fwd_interference_eff_w = 0.0;  // with own-cell orthogonality credit
+    double fch_sir_linear = 0.0;     // achieved FCH Eb/I0 (relevant link)
+
+    User(const cell::ActiveSetConfig& as_cfg, std::size_t num_cells,
+         const power::PowerControlConfig& fl_cfg, const power::PowerControlConfig& rl_cfg)
+        : active_set(as_cfg, num_cells), fl_pc(fl_cfg), rl_pc(rl_cfg, -20.0) {}
+  };
+
+  void step_mobility_and_channel();
+  void step_forward_measurements();
+  void step_reverse_measurements();
+  void step_power_control();
+  void step_traffic();
+  void run_admission(mac::LinkDirection direction);
+  void step_transmission();
+  void update_transmit_powers();
+  void collect_frame_metrics();
+
+  bool in_warmup() const { return now_s_ < config_.warmup_s; }
+  double sch_mean_csi(const User& u) const;
+  double delta_beta(const User& u) const;
+  int mobile_tx_upper_bound(const User& u) const;
+  std::size_t coverage_bin(const User& u) const;
+
+  SystemConfig config_;
+  cell::HexLayout layout_;
+  channel::PathLoss path_loss_;
+  phy::Spreading spreading_;
+  phy::AdaptationPolicy policy_;
+  std::unique_ptr<admission::Scheduler> scheduler_;
+  common::Rng rng_;
+
+  std::vector<BaseStation> stations_;
+  std::vector<User> users_;
+  double noise_w_ = 0.0;
+  double l_max_w_ = 0.0;
+  double fch_pg_ = 0.0;        // W / R_f processing gain
+  double fch_sir_target_ = 0.0;  // linear Eb/I0 target
+  double now_s_ = 0.0;
+  std::int64_t frame_count_ = 0;
+  SimMetrics metrics_;
+};
+
+}  // namespace wcdma::sim

@@ -1,0 +1,361 @@
+// Unit tests for the common substrate: PRNG, units, matrix, statistics,
+// thread pool, and table formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "src/common/matrix.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/table.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/common/units.hpp"
+
+namespace wcdma::common {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  Rng child1 = parent.fork(5);
+  // Forking again with the same stream id from the *same* parent state must
+  // reproduce the child.
+  Rng child2 = parent.fork(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForkStreamsDecorrelated) {
+  Rng parent(7);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange) {
+  Rng rng(13);
+  std::array<int, 5> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_int(5)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 5, 5 * std::sqrt(n / 5.0));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  StreamingMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(rng.normal());
+  EXPECT_NEAR(m.mean(), 0.0, 0.01);
+  EXPECT_NEAR(m.variance(), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  StreamingMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(rng.exponential(3.0));
+  EXPECT_NEAR(m.mean(), 3.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsMinimumAndShape) {
+  Rng rng(23);
+  StreamingMoments m;
+  const double alpha = 1.7, xm = 2.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.pareto(alpha, xm);
+    EXPECT_GE(x, xm);
+    m.add(x);
+  }
+  // E[X] = alpha xm / (alpha - 1); heavy tail -> generous tolerance.
+  EXPECT_NEAR(m.mean(), alpha * xm / (alpha - 1.0), 0.3);
+}
+
+TEST(Rng, ParetoTruncatedWithinBounds) {
+  Rng rng(29);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.pareto_truncated(1.7, 4096.0, 2.0e6);
+    EXPECT_GE(x, 4096.0);
+    EXPECT_LE(x, 2.0e6);
+  }
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(31);
+  StreamingMoments m;
+  for (int i = 0; i < 100000; ++i) m.add(rng.poisson(2.5));
+  EXPECT_NEAR(m.mean(), 2.5, 0.05);
+  EXPECT_NEAR(m.variance(), 2.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanNormalApprox) {
+  Rng rng(37);
+  StreamingMoments m;
+  for (int i = 0; i < 50000; ++i) m.add(rng.poisson(100.0));
+  EXPECT_NEAR(m.mean(), 100.0, 0.5);
+}
+
+TEST(Rng, RayleighPowerIsExponential) {
+  Rng rng(41);
+  StreamingMoments m;
+  // sigma = sqrt(1/2) gives unit mean power.
+  const double sigma = std::sqrt(0.5);
+  for (int i = 0; i < 200000; ++i) {
+    const double r = rng.rayleigh(sigma);
+    m.add(r * r);
+  }
+  EXPECT_NEAR(m.mean(), 1.0, 0.02);
+  EXPECT_NEAR(m.variance(), 1.0, 0.05);
+}
+
+TEST(Rng, LognormalShadowMedianIsOne) {
+  Rng rng(43);
+  int above = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) above += rng.lognormal_shadow(8.0) > 1.0 ? 1 : 0;
+  EXPECT_NEAR(above, n / 2, 4 * std::sqrt(n / 4.0));
+}
+
+TEST(Rng, DeriveSeedsDistinct) {
+  const auto seeds = derive_seeds(99, 64);
+  std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, DbRoundTrip) {
+  for (double db : {-20.0, -3.0, 0.0, 3.0, 10.0, 30.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, KnownValues) {
+  EXPECT_NEAR(db_to_linear(3.0103), 2.0, 1e-3);
+  EXPECT_NEAR(dbm_to_watt(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(watt_to_dbm(0.001), 0.0, 1e-9);
+}
+
+TEST(Units, ThermalNoise) {
+  // -174 dBm/Hz over 3.6864 MHz ~= -108.3 dBm.
+  const double n = thermal_noise_watt(3.6864e6);
+  EXPECT_NEAR(watt_to_dbm(n), -108.33, 0.05);
+  // Noise figure adds straight dB.
+  EXPECT_NEAR(watt_to_dbm(thermal_noise_watt(3.6864e6, 5.0)), -103.33, 0.05);
+}
+
+TEST(Units, Doppler) {
+  // 60 km/h at 2 GHz ~= 111 Hz.
+  EXPECT_NEAR(doppler_hz(kmh_to_mps(60.0), 2.0e9), 111.2, 0.5);
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = m.multiply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, AppendRow) {
+  Matrix m;
+  m.append_row({1.0, 2.0});
+  m.append_row({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, Satisfies) {
+  Matrix a{{1.0, 1.0}};
+  EXPECT_TRUE(satisfies(a, {1.0, 1.0}, {2.0}));
+  EXPECT_TRUE(satisfies(a, {1.0, 1.0}, {2.0 - 1e-12}));
+  EXPECT_FALSE(satisfies(a, {1.0, 1.5}, {2.0}));
+}
+
+TEST(Matrix, VectorHelpers) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ(sum({1.0, 2.0, 3.0}), 6.0);
+  const Vector v = axpy({1.0, 1.0}, 2.0, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+  EXPECT_DOUBLE_EQ(linf_distance({0.0, 0.0}, {1.0, -3.0}), 3.0);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(StreamingMoments, MatchesDirectComputation) {
+  StreamingMoments m;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0};
+  for (double x : xs) m.add(x);
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.75);
+  EXPECT_NEAR(m.variance(), 9.583333333, 1e-9);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 8.0);
+}
+
+TEST(StreamingMoments, MergeEqualsConcatenation) {
+  StreamingMoments a, b, whole;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i < 400 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(StreamingMoments, MergeWithEmpty) {
+  StreamingMoments a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, PercentileUniform) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.mean_estimate(), 50.0, 0.5);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(25.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bins().front(), 1u);
+  EXPECT_EQ(h.bins().back(), 1u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(1.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(ConfidenceInterval, KnownSmallSample) {
+  // n=5, data 1..5: mean 3, sd sqrt(2.5); t(4, .975) = 2.776.
+  const auto ci = confidence_interval_95({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_NEAR(ci.half_width, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-3);
+}
+
+TEST(ConfidenceInterval, DegenerateSizes) {
+  EXPECT_EQ(confidence_interval_95({}).n, 0u);
+  const auto one = confidence_interval_95({7.0});
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.half_width, 0.0);
+}
+
+TEST(JainFairness, Extremes) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_NEAR(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, InlineWhenZeroWorkers) {
+  ThreadPool pool(0);
+  int count = 0;
+  pool.submit([&] { ++count; });
+  EXPECT_EQ(count, 1);  // executed synchronously
+}
+
+TEST(ParallelForIndex, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for_index(500, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForIndex, ThreadCountInvariantResult) {
+  // Work whose result depends only on the index must merge identically.
+  auto run = [](std::size_t threads) {
+    std::vector<double> out(64);
+    parallel_for_index(64, threads, [&](std::size_t i) {
+      Rng rng(Rng(1234).fork(i)());
+      out[i] = rng.uniform();
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "bee"});
+  t.add_row({"1", "2"});
+  t.add_numeric_row({3.14159, 2.0});
+  const std::string s = t.render("title");
+  EXPECT_NE(s.find("# title"), std::string::npos);
+  EXPECT_NE(s.find("bee"), std::string::npos);
+  EXPECT_NE(s.find("3.1416"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(123456.789, 4), "1.235e+05");
+}
+
+}  // namespace
+}  // namespace wcdma::common

@@ -1,0 +1,111 @@
+// Power-control tests: closed-loop convergence, rail behaviour, and the
+// outer-loop FER equilibrium.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/power/power_control.hpp"
+
+namespace wcdma::power {
+namespace {
+
+// Simulated static link: measured SIR (dB) = TX power (dBm) + gain constant.
+struct StaticLink {
+  double gain_db;  // SIR achieved per dBm of TX power
+  double measure(const ClosedLoopPowerControl& pc) const {
+    return pc.power_dbm() + gain_db;
+  }
+};
+
+TEST(ClosedLoop, ConvergesToTargetOnStaticChannel) {
+  PowerControlConfig cfg;
+  cfg.target_sir_db = 7.0;
+  ClosedLoopPowerControl pc(cfg, 0.0);
+  StaticLink link{-5.0};  // needs 12 dBm for 7 dB SIR
+  for (int i = 0; i < 50; ++i) pc.update(link.measure(pc));
+  EXPECT_NEAR(pc.power_dbm(), 12.0, 0.01);
+  EXPECT_NEAR(link.measure(pc), 7.0, 0.01);
+  EXPECT_FALSE(pc.saturated());
+}
+
+TEST(ClosedLoop, PerFrameSwingIsLimited) {
+  PowerControlConfig cfg;
+  cfg.step_db = 1.0;
+  cfg.commands_per_frame = 16;
+  ClosedLoopPowerControl pc(cfg, 0.0);
+  // Demand a 100 dB correction: one frame can swing at most 16 dB.
+  pc.update(cfg.target_sir_db - 100.0);
+  EXPECT_NEAR(pc.power_dbm(), 16.0, 1e-12);
+}
+
+TEST(ClosedLoop, ClampsAtMaxAndFlagsSaturation) {
+  PowerControlConfig cfg;
+  cfg.max_power_dbm = 23.0;
+  ClosedLoopPowerControl pc(cfg, 20.0);
+  StaticLink link{-30.0};  // unreachable target
+  for (int i = 0; i < 10; ++i) pc.update(link.measure(pc));
+  EXPECT_DOUBLE_EQ(pc.power_dbm(), 23.0);
+  EXPECT_TRUE(pc.saturated());
+}
+
+TEST(ClosedLoop, ClampsAtMin) {
+  PowerControlConfig cfg;
+  cfg.min_power_dbm = -50.0;
+  ClosedLoopPowerControl pc(cfg, -45.0);
+  StaticLink link{+100.0};  // target overshot massively
+  for (int i = 0; i < 10; ++i) pc.update(link.measure(pc));
+  EXPECT_DOUBLE_EQ(pc.power_dbm(), -50.0);
+}
+
+TEST(ClosedLoop, PowerWattMatchesDbm) {
+  ClosedLoopPowerControl pc({}, 30.0);
+  EXPECT_NEAR(pc.power_watt(), 1.0, 1e-12);
+}
+
+TEST(ClosedLoop, TracksSlowFade) {
+  PowerControlConfig cfg;
+  ClosedLoopPowerControl pc(cfg, 0.0);
+  double gain = -5.0;
+  for (int i = 0; i < 200; ++i) {
+    gain -= 0.05;  // 2.5 dB/s fade at 20 ms frames
+    pc.update(pc.power_dbm() + gain);
+  }
+  // Converged within a step of the ideal power.
+  EXPECT_NEAR(pc.power_dbm() + gain, cfg.target_sir_db, 1.0);
+}
+
+TEST(OuterLoop, EquilibriumFerMatchesTarget) {
+  const double fer_target = 0.02;
+  OuterLoopPowerControl outer(7.0, fer_target, 0.5, 3.0, 12.0);
+  common::Rng rng(3);
+  // Toy link: frame errors happen when target is below 7 dB + noise margin.
+  int errors = 0;
+  const int frames = 200000;
+  for (int i = 0; i < frames; ++i) {
+    // Error probability falls steeply with target: sigmoid around 5.5 dB.
+    const double p_err = 1.0 / (1.0 + std::exp(4.0 * (outer.target_db() - 5.5)));
+    const bool err = rng.uniform() < p_err;
+    errors += err ? 1 : 0;
+    outer.on_frame(err);
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / frames, fer_target, 0.005);
+}
+
+TEST(OuterLoop, JumpsUpOnError) {
+  OuterLoopPowerControl outer(7.0, 0.01, 0.5, 3.0, 12.0);
+  const double before = outer.target_db();
+  outer.on_frame(true);
+  EXPECT_NEAR(outer.target_db(), before + 0.5, 1e-12);
+}
+
+TEST(OuterLoop, StaysWithinBounds) {
+  OuterLoopPowerControl outer(7.0, 0.01, 0.5, 3.0, 12.0);
+  for (int i = 0; i < 100; ++i) outer.on_frame(true);
+  EXPECT_DOUBLE_EQ(outer.target_db(), 12.0);
+  for (int i = 0; i < 100000; ++i) outer.on_frame(false);
+  EXPECT_DOUBLE_EQ(outer.target_db(), 3.0);
+}
+
+}  // namespace
+}  // namespace wcdma::power

@@ -1,0 +1,125 @@
+// Traffic model tests: on/off voice statistics and the WWW burst source.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/traffic/data.hpp"
+#include "src/traffic/voice.hpp"
+
+namespace wcdma::traffic {
+namespace {
+
+using common::Rng;
+using common::StreamingMoments;
+
+TEST(Voice, ActivityFactorFromConfig) {
+  VoiceConfig cfg;
+  cfg.mean_on_s = 1.0;
+  cfg.mean_off_s = 1.5;
+  VoiceSource v(cfg, Rng(3));
+  EXPECT_NEAR(v.activity_factor(), 0.4, 1e-12);
+}
+
+TEST(Voice, LongRunActivityMatchesFactor) {
+  VoiceConfig cfg;
+  VoiceSource v(cfg, Rng(5));
+  int active = 0;
+  const int frames = 500000;
+  for (int i = 0; i < frames; ++i) active += v.step(0.02) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(active) / frames, 0.4, 0.02);
+}
+
+TEST(Voice, StepSpanningMultipleTransitions) {
+  // A very long dt must still leave the source in a valid state and the
+  // stationary distribution intact (statistically).
+  VoiceConfig cfg;
+  VoiceSource v(cfg, Rng(7));
+  int active = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) active += v.step(10.0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(active) / n, 0.4, 0.02);
+}
+
+TEST(Voice, ManySourcesMultiplex) {
+  // Law-of-large-numbers check from Section 1: average concurrent talkers
+  // approaches N * p_on.
+  VoiceConfig cfg;
+  std::vector<VoiceSource> sources;
+  Rng rng(11);
+  const int n_src = 100;
+  for (int i = 0; i < n_src; ++i) sources.emplace_back(cfg, rng.fork(i));
+  StreamingMoments m;
+  for (int f = 0; f < 20000; ++f) {
+    int on = 0;
+    for (auto& s : sources) on += s.step(0.02) ? 1 : 0;
+    m.add(on);
+  }
+  EXPECT_NEAR(m.mean(), n_src * 0.4, 1.0);
+}
+
+TEST(Data, MeanBurstBytesFormula) {
+  DataTrafficConfig cfg;
+  // Sample mean must match the closed-form truncated-Pareto mean.
+  DataSource src(cfg, Rng(13));
+  StreamingMoments m;
+  for (int i = 0; i < 200000; ++i) {
+    Rng r(Rng(99).fork(i)());
+    m.add(r.pareto_truncated(cfg.pareto_alpha, cfg.min_burst_bytes, cfg.max_burst_bytes));
+  }
+  EXPECT_NEAR(m.mean(), mean_burst_bytes(cfg), 0.02 * mean_burst_bytes(cfg));
+}
+
+TEST(Data, NoArrivalWhileInFlight) {
+  DataTrafficConfig cfg;
+  cfg.mean_reading_s = 0.001;  // arrivals essentially immediate
+  DataSource src(cfg, Rng(17));
+  // First arrival.
+  std::optional<double> burst;
+  for (int i = 0; i < 1000 && !burst; ++i) burst = src.step(0.02);
+  ASSERT_TRUE(burst.has_value());
+  EXPECT_TRUE(src.waiting_for_completion());
+  // While in flight no further bursts arrive.
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(src.step(0.02).has_value());
+  // Completion re-arms the reading timer.
+  src.notify_burst_done();
+  burst.reset();
+  for (int i = 0; i < 1000 && !burst; ++i) burst = src.step(0.02);
+  EXPECT_TRUE(burst.has_value());
+}
+
+TEST(Data, BurstSizesWithinTruncation) {
+  DataTrafficConfig cfg;
+  cfg.mean_reading_s = 0.001;
+  DataSource src(cfg, Rng(19));
+  for (int b = 0; b < 200; ++b) {
+    std::optional<double> burst;
+    for (int i = 0; i < 10000 && !burst; ++i) burst = src.step(0.02);
+    ASSERT_TRUE(burst.has_value());
+    EXPECT_GE(*burst, cfg.min_burst_bytes);
+    EXPECT_LE(*burst, cfg.max_burst_bytes);
+    src.notify_burst_done();
+  }
+}
+
+TEST(Data, ReadingTimeRoughlyExponential) {
+  DataTrafficConfig cfg;
+  cfg.mean_reading_s = 2.0;
+  DataSource src(cfg, Rng(23));
+  StreamingMoments gaps;
+  double t = 0.0;
+  double last_done = 0.0;
+  for (int completed = 0; completed < 2000;) {
+    const auto burst = src.step(0.02);
+    t += 0.02;
+    if (burst) {
+      gaps.add(t - last_done);
+      src.notify_burst_done();
+      last_done = t;
+      ++completed;
+    }
+  }
+  EXPECT_NEAR(gaps.mean(), 2.0, 0.15);
+}
+
+}  // namespace
+}  // namespace wcdma::traffic

@@ -5,58 +5,57 @@
 //
 // Expected shape: capacity falls with voice load for every scheduler, and
 // JABA-SD supports at least as many users as the baselines at every load.
+//
+// Runs on the sweep engine: the full (voice x scheduler x data-users) grid
+// is evaluated in one parallel sweep (no early break: single-run noise is
+// not monotone), then capacity is read off the merged delays per cell of
+// the grid.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace wcdma;
 using namespace wcdma::bench;
 
 namespace {
 constexpr double kDelayTarget = 5.0;  // seconds
-}
 
-namespace {
-
-// Mean delay averaged over independent replications (heavy-tailed burst
-// sizes make single runs too noisy for a threshold decision).
-double replicated_mean_delay(const sim::SystemConfig& cfg, int reps) {
-  sim::SimMetrics merged;
-  for (int r = 0; r < reps; ++r) {
-    sim::SystemConfig rep = cfg;
-    rep.seed = cfg.seed + static_cast<std::uint64_t>(r) * 7919;
-    sim::Simulator simulator(rep);
-    merged.merge(simulator.run());
-  }
-  return merged.mean_delay_s();
-}
-
+const std::vector<int> kVoiceGrid = {0, 30, 60};
+const std::vector<int> kDataGrid = {6, 9, 12, 15, 18};
+const std::vector<admission::SchedulerKind> kSchedulers = {
+    admission::SchedulerKind::kJabaSd, admission::SchedulerKind::kFcfs,
+    admission::SchedulerKind::kEqualShare};
 }  // namespace
 
 int main() {
-  const std::vector<int> data_grid = {6, 9, 12, 15, 18};
+  sweep::SweepSpec spec;
+  spec.name = "E6-capacity";
+  spec.base = hotspot_config(4003);
+  spec.axes = {sweep::axis_voice_users(kVoiceGrid), sweep::axis_scheduler(kSchedulers),
+               sweep::axis_data_users(kDataGrid)};
+  spec.replications = 3;
+  spec.common_random_numbers = true;  // paired comparison across grid cells
+
+  const sweep::SweepResult result =
+      sweep::run_sweep(spec, common::default_thread_count());
+
   common::Table t({"voice-users", "scheduler", "capacity(data-users)",
                    "delay@capacity(s)"});
-  for (const int voice : {0, 30, 60}) {
-    for (const auto kind :
-         {admission::SchedulerKind::kJabaSd, admission::SchedulerKind::kFcfs,
-          admission::SchedulerKind::kEqualShare}) {
-      // Evaluate the whole grid (no early break: single-run noise is not
-      // monotone) and take the largest load that meets the target.
+  for (std::size_t v = 0; v < kVoiceGrid.size(); ++v) {
+    for (std::size_t k = 0; k < kSchedulers.size(); ++k) {
       int capacity = 0;
       double delay_at_capacity = 0.0;
-      for (const int users : data_grid) {
-        sim::SystemConfig cfg = hotspot_config(4003);
-        cfg.voice.users = voice;
-        cfg.data.users = users;
-        cfg.admission.scheduler = kind;
-        const double delay = replicated_mean_delay(cfg, 3);
-        if (delay <= kDelayTarget && users > capacity) {
-          capacity = users;
+      for (std::size_t d = 0; d < kDataGrid.size(); ++d) {
+        const double delay = result.at({v, k, d}).merged.mean_delay_s();
+        if (delay <= kDelayTarget && kDataGrid[d] > capacity) {
+          capacity = kDataGrid[d];
           delay_at_capacity = delay;
         }
       }
-      t.add_row({std::to_string(voice), to_string(kind), std::to_string(capacity),
+      t.add_row({std::to_string(kVoiceGrid[v]), to_string(kSchedulers[k]),
+                 std::to_string(capacity),
                  common::format_double(delay_at_capacity, 4)});
     }
   }

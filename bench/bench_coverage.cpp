@@ -8,29 +8,36 @@
 // adaptive VTAOC curve stays flatter and usable further out than the
 // fixed-rate PHY, which loses its service area once the fixed mode's
 // threshold stops clearing.
+//
+// Runs on the sweep engine: a two-scenario fixed-mode axis (adaptive vs
+// fixed-m4), with the per-distance-bin metrics read from the merged result.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/sim/metrics.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace wcdma;
 using namespace wcdma::bench;
 
 int main() {
+  sweep::SweepSpec spec;
+  spec.name = "E7-coverage";
+  spec.base = wide_config(4007);
+  spec.base.sim_duration_s = 90.0;
+  spec.base.data.users = 14;
+  spec.axes = {sweep::axis_fixed_mode({0, 4})};
+  spec.replications = 1;
+  spec.common_random_numbers = true;  // identical user drops for both PHYs
+
+  const sweep::SweepResult result =
+      sweep::run_sweep(spec, common::default_thread_count());
+  const sim::SimMetrics& adaptive = result.at({0}).merged;
+  const sim::SimMetrics& fixed = result.at({1}).merged;
+
   common::Table t({"bin", "dist/R", "adaptive: n", "delay(s)", "fixed-m4: n",
                    "delay(s)"});
-
-  auto run = [](int fixed_mode) {
-    sim::SystemConfig cfg = wide_config(4007);
-    cfg.sim_duration_s = 90.0;
-    cfg.data.users = 14;
-    cfg.phy.fixed_mode = fixed_mode;
-    sim::Simulator simulator(cfg);
-    return simulator.run();
-  };
-  const sim::SimMetrics adaptive = run(0);
-  const sim::SimMetrics fixed = run(4);
-
   for (std::size_t b = 0; b < sim::kCoverageBins; ++b) {
     const double frac = (static_cast<double>(b) + 0.5) * 1.2 /
                         static_cast<double>(sim::kCoverageBins);

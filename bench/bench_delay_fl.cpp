@@ -6,30 +6,38 @@
 // power budget.  Expected shape: all curves grow with load; JABA-SD sits
 // lowest, its greedy engine tracks it closely, FCFS trails, single-burst
 // FCFS and equal-share saturate earliest.
-#include <cstdio>
-
+//
+// Runs on the sweep engine: one (scheduler x data-users) grid, 3
+// replications per scenario, sharded across hardware threads.
 #include "bench/bench_util.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace wcdma;
 using namespace wcdma::bench;
 
 int main() {
+  sweep::SweepSpec spec;
+  spec.name = "E4-delay-fl";
+  spec.base = hotspot_config(4001);
+  spec.base.data.forward_fraction = 1.0;  // all downloads
+  spec.axes = {sweep::axis_data_users({4, 8, 12, 16, 20, 24}),
+               sweep::axis_scheduler(headline_schedulers())};
+  spec.replications = 3;
+  spec.common_random_numbers = true;  // paired comparison across schedulers
+
+  const sweep::SweepResult result =
+      sweep::run_sweep(spec, common::default_thread_count());
+
   common::Table t({"data-users", "scheduler", "mean-delay(s)", "p95-delay(s)",
                    "throughput(kbps)", "grant-rate", "mean-SGR"});
-  for (const int users : {4, 8, 12, 16, 20, 24}) {
-    for (const auto kind : headline_schedulers()) {
-      sim::SystemConfig cfg = hotspot_config(4001);
-      cfg.data.users = users;
-      cfg.data.forward_fraction = 1.0;  // all downloads
-      cfg.admission.scheduler = kind;
-      const Row r = run_row_reps(cfg, 3);
-      t.add_row({std::to_string(users), to_string(kind),
-                 common::format_double(r.mean_delay_s, 4),
-                 common::format_double(r.p95_delay_s, 4),
-                 common::format_double(r.throughput_kbps, 4),
-                 common::format_double(r.grant_rate, 3),
-                 common::format_double(r.mean_sgr, 3)});
-    }
+  for (const sweep::ScenarioResult& s : result.scenarios) {
+    const Row r = metrics_to_row(s.merged);
+    t.add_row({s.labels[0], s.labels[1], common::format_double(r.mean_delay_s, 4),
+               common::format_double(r.p95_delay_s, 4),
+               common::format_double(r.throughput_kbps, 4),
+               common::format_double(r.grant_rate, 3),
+               common::format_double(r.mean_sgr, 3)});
   }
   t.print("E4: forward-link burst delay vs data users (7-cell hotspot)");
   return 0;

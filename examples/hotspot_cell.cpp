@@ -3,40 +3,35 @@
 // interference budget.  This is where multiple-burst scheduling actually
 // matters — compare JABA-SD against the cdma2000 FCFS and equal-share
 // baselines in one congested cell.
-#include <cstdio>
-
-#include "src/common/table.hpp"
-#include "src/sim/simulator.hpp"
+//
+// Runs on the sweep engine: one scheduler axis over every implemented
+// scheduler, evaluated in parallel with deterministic per-scenario seeds.
+#include "src/common/thread_pool.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace wcdma;
 
 int main() {
-  sim::SystemConfig base = sim::default_config();
-  base.sim_duration_s = 60.0;
-  base.warmup_s = 10.0;
-  base.voice.users = 60;
-  base.data.users = 24;
-  base.data.mean_reading_s = 1.5;  // aggressive load
+  sweep::SweepSpec spec;
+  spec.name = "hotspot-cell-example";
+  spec.base = sim::default_config();
+  spec.base.sim_duration_s = 60.0;
+  spec.base.warmup_s = 10.0;
+  spec.base.voice.users = 60;
+  spec.base.data.users = 24;
+  spec.base.data.mean_reading_s = 1.5;  // aggressive load
   // Confine mobility to the central cell -> hotspot.
-  base.mobility.region_radius_m = base.layout.cell_radius_m;
-  base.seed = 77;
+  spec.base.mobility.region_radius_m = spec.base.layout.cell_radius_m;
+  spec.base.seed = 77;
+  spec.axes = {sweep::axis_scheduler(
+      {admission::SchedulerKind::kJabaSd, admission::SchedulerKind::kGreedy,
+       admission::SchedulerKind::kFcfs, admission::SchedulerKind::kFcfsSingle,
+       admission::SchedulerKind::kEqualShare, admission::SchedulerKind::kRandom})};
+  spec.replications = 1;
+  spec.common_random_numbers = true;  // paired comparison across schedulers
 
-  common::Table table({"scheduler", "mean delay (s)", "p95 delay (s)",
-                       "throughput (kbps)", "grant rate", "mean SGR"});
-  for (const auto kind :
-       {admission::SchedulerKind::kJabaSd, admission::SchedulerKind::kGreedy,
-        admission::SchedulerKind::kFcfs, admission::SchedulerKind::kFcfsSingle,
-        admission::SchedulerKind::kEqualShare, admission::SchedulerKind::kRandom}) {
-    sim::SystemConfig cfg = base;
-    cfg.admission.scheduler = kind;
-    sim::Simulator simulator(cfg);
-    const sim::SimMetrics m = simulator.run();
-    table.add_row({to_string(kind), common::format_double(m.mean_delay_s()),
-                   common::format_double(m.p95_delay_s()),
-                   common::format_double(m.data_throughput_bps() / 1000.0),
-                   common::format_double(m.grant_rate()),
-                   common::format_double(m.granted_sgr.mean())});
-  }
-  table.print("hotspot_cell: 24 data users in one congested cell");
+  const sweep::SweepResult result =
+      sweep::run_sweep(spec, common::default_thread_count());
+  sweep::to_table(result).print("hotspot_cell: 24 data users in one congested cell");
   return 0;
 }

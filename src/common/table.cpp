@@ -1,6 +1,7 @@
 #include "src/common/table.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 
 #include "src/common/assert.hpp"
@@ -47,6 +48,99 @@ std::string Table::render(const std::string& title) const {
   out.append(rule, '-');
   out += "\n";
   for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+// Strict JSON number grammar (RFC 8259), not strtod: strtod also accepts
+// ".5", "1.", "+1", "inf", and hex floats, none of which are valid JSON.
+bool parses_as_number(const std::string& cell) {
+  const char* p = cell.c_str();
+  if (*p == '-') ++p;
+  if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  if (*p == '0') {
+    ++p;
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  if (*p == '.') {
+    ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  if (*p == 'e' || *p == 'E') {
+    ++p;
+    if (*p == '+' || *p == '-') ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  return *p == '\0';
+}
+
+std::string json_escape(const std::string& cell) {
+  std::string out = "\"";
+  for (char ch : cell) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::render_csv() const {
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += csv_escape(row[c]);
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string Table::render_json() const {
+  std::string out = "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) out += ", ";
+      out += json_escape(headers_[c]);
+      out += ": ";
+      out += parses_as_number(rows_[r][c]) ? rows_[r][c] : json_escape(rows_[r][c]);
+    }
+    out += r + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
   return out;
 }
 

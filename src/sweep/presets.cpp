@@ -1,0 +1,176 @@
+#include "src/sweep/presets.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::sweep {
+
+namespace {
+
+using admission::ObjectiveKind;
+using admission::SchedulerKind;
+
+const std::vector<SchedulerKind> kCoreSchedulers = {
+    SchedulerKind::kJabaSd, SchedulerKind::kFcfs, SchedulerKind::kEqualShare};
+
+/// The paper's 19-cell wide-area setting, shortened to a CI-friendly horizon.
+SweepSpec paper_default() {
+  SweepSpec spec;
+  spec.name = "paper-default";
+  spec.base = sim::default_config();
+  spec.base.sim_duration_s = 30.0;
+  spec.base.warmup_s = 5.0;
+  spec.base.data.mean_reading_s = 1.5;
+  spec.base.seed = 2001042;
+  spec.axes = {axis_scheduler(kCoreSchedulers), axis_data_users({8, 16})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// Every user confined to the central cell so burst requests contend for
+/// one power/interference budget — where multiple-burst scheduling matters.
+SweepSpec hotspot_cell() {
+  SweepSpec spec;
+  spec.name = "hotspot-cell";
+  spec.base = sim::default_config();
+  spec.base.layout.rings = 1;  // 7 cells
+  spec.base.voice.users = 30;
+  spec.base.data.mean_reading_s = 1.0;
+  spec.base.mobility.region_radius_m = spec.base.layout.cell_radius_m;
+  spec.base.sim_duration_s = 50.0;
+  spec.base.warmup_s = 8.0;
+  spec.base.seed = 7701;
+  spec.axes = {axis_scheduler(kCoreSchedulers), axis_data_users({8, 16, 24})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// Vehicular users: fast shadowing decorrelation and stale closed-loop CSI
+/// stress the channel-adaptive stack.
+SweepSpec highway_mobility() {
+  SweepSpec spec;
+  spec.name = "highway-mobility";
+  spec.base = sim::default_config();
+  spec.base.layout.rings = 1;
+  spec.base.voice.users = 20;
+  spec.base.data.users = 12;
+  spec.base.mobility.min_speed_mps = 15.0;
+  spec.base.sim_duration_s = 40.0;
+  spec.base.warmup_s = 6.0;
+  spec.base.seed = 8803;
+  spec.axes = {axis_max_speed_kmh({60.0, 90.0, 120.0}),
+               axis_scheduler({SchedulerKind::kJabaSd, SchedulerKind::kFcfs})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// Download-dominated traffic mix at short reading times: the forward-link
+/// power budget is the binding constraint.
+SweepSpec data_heavy() {
+  SweepSpec spec;
+  spec.name = "data-heavy";
+  spec.base = sim::default_config();
+  spec.base.layout.rings = 1;
+  spec.base.voice.users = 10;
+  spec.base.data.mean_reading_s = 0.8;
+  spec.base.data.forward_fraction = 1.0;
+  spec.base.mobility.region_radius_m = spec.base.layout.cell_radius_m;
+  spec.base.sim_duration_s = 40.0;
+  spec.base.warmup_s = 6.0;
+  spec.base.seed = 9907;
+  spec.axes = {axis_data_users({12, 18, 24}),
+               axis_objective({ObjectiveKind::kJ1MaxRate, ObjectiveKind::kJ2DelayAware})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// Harsh propagation: steep path loss and heavy shadowing, adaptive VTAOC
+/// against a fixed-rate ablation (the paper's coverage story).
+SweepSpec degraded_channel() {
+  SweepSpec spec;
+  spec.name = "degraded-channel";
+  spec.base = sim::default_config();
+  spec.base.voice.users = 30;
+  spec.base.data.users = 12;
+  spec.base.sim_duration_s = 40.0;
+  spec.base.warmup_s = 6.0;
+  spec.base.path_loss.kind = channel::PathLossModelKind::kLogDistance;
+  spec.base.path_loss.exponent = 4.2;
+  spec.base.seed = 6607;
+  spec.axes = {axis_shadowing_sigma_db({8.0, 10.0, 12.0}), axis_fixed_mode({0, 4})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// Tiny 2-scenario grid for CI smoke runs and engine tests.
+SweepSpec smoke() {
+  SweepSpec spec;
+  spec.name = "smoke";
+  spec.base = sim::default_config();
+  spec.base.layout.rings = 1;
+  spec.base.voice.users = 8;
+  spec.base.data.users = 4;
+  spec.base.data.mean_reading_s = 1.0;
+  spec.base.sim_duration_s = 6.0;
+  spec.base.warmup_s = 1.0;
+  spec.base.seed = 1105;
+  spec.axes = {axis_scheduler({SchedulerKind::kJabaSd, SchedulerKind::kFcfs})};
+  spec.replications = 1;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+struct PresetEntry {
+  const char* name;
+  const char* description;
+  SweepSpec (*build)();
+};
+
+const PresetEntry kPresets[] = {
+    {"paper-default", "19-cell wide area, headline schedulers x data load",
+     paper_default},
+    {"hotspot-cell", "single congested cell, schedulers x data load", hotspot_cell},
+    {"highway-mobility", "vehicular speeds 60-120 km/h x schedulers",
+     highway_mobility},
+    {"data-heavy", "download-dominated mix, data load x objective", data_heavy},
+    {"degraded-channel", "steep path loss, shadowing x adaptive-vs-fixed PHY",
+     degraded_channel},
+    {"smoke", "tiny 2-scenario grid for CI smoke runs", smoke},
+};
+
+const PresetEntry* find_preset(const std::string& name) {
+  for (const PresetEntry& entry : kPresets) {
+    if (name == entry.name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> preset_names() {
+  std::vector<std::string> names;
+  for (const PresetEntry& entry : kPresets) names.push_back(entry.name);
+  return names;
+}
+
+bool has_preset(const std::string& name) { return find_preset(name) != nullptr; }
+
+SweepSpec make_preset(const std::string& name) {
+  const PresetEntry* entry = find_preset(name);
+  WCDMA_ASSERT(entry != nullptr && "unknown sweep preset");
+  SweepSpec spec = entry->build();
+  spec.validate();
+  return spec;
+}
+
+std::string preset_description(const std::string& name) {
+  const PresetEntry* entry = find_preset(name);
+  WCDMA_ASSERT(entry != nullptr && "unknown sweep preset");
+  return entry->description;
+}
+
+}  // namespace wcdma::sweep

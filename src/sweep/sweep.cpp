@@ -1,0 +1,232 @@
+#include "src/sweep/sweep.hpp"
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wcdma::sweep {
+
+namespace {
+
+std::string format_int(int v) { return std::to_string(v); }
+
+}  // namespace
+
+Axis axis_data_users(const std::vector<int>& counts) {
+  Axis axis{"data_users", {}};
+  for (int n : counts) {
+    axis.values.push_back(
+        {format_int(n), [n](sim::SystemConfig& cfg) { cfg.data.users = n; }});
+  }
+  return axis;
+}
+
+Axis axis_voice_users(const std::vector<int>& counts) {
+  Axis axis{"voice_users", {}};
+  for (int n : counts) {
+    axis.values.push_back(
+        {format_int(n), [n](sim::SystemConfig& cfg) { cfg.voice.users = n; }});
+  }
+  return axis;
+}
+
+Axis axis_max_speed_kmh(const std::vector<double>& kmh) {
+  Axis axis{"max_speed_kmh", {}};
+  for (double v : kmh) {
+    axis.values.push_back({common::format_double(v, 4), [v](sim::SystemConfig& cfg) {
+                             cfg.mobility.max_speed_mps = v / 3.6;
+                           }});
+  }
+  return axis;
+}
+
+Axis axis_path_loss_exponent(const std::vector<double>& exponents) {
+  Axis axis{"path_loss_exp", {}};
+  for (double v : exponents) {
+    axis.values.push_back({common::format_double(v, 4), [v](sim::SystemConfig& cfg) {
+                             cfg.path_loss.kind = channel::PathLossModelKind::kLogDistance;
+                             cfg.path_loss.exponent = v;
+                           }});
+  }
+  return axis;
+}
+
+Axis axis_shadowing_sigma_db(const std::vector<double>& sigmas) {
+  Axis axis{"shadow_sigma_db", {}};
+  for (double v : sigmas) {
+    axis.values.push_back({common::format_double(v, 4), [v](sim::SystemConfig& cfg) {
+                             cfg.shadowing.sigma_db = v;
+                           }});
+  }
+  return axis;
+}
+
+Axis axis_scheduler(const std::vector<admission::SchedulerKind>& kinds) {
+  Axis axis{"scheduler", {}};
+  for (auto kind : kinds) {
+    axis.values.push_back({admission::to_string(kind), [kind](sim::SystemConfig& cfg) {
+                             cfg.admission.scheduler = kind;
+                           }});
+  }
+  return axis;
+}
+
+Axis axis_objective(const std::vector<admission::ObjectiveKind>& kinds) {
+  Axis axis{"objective", {}};
+  for (auto kind : kinds) {
+    axis.values.push_back({admission::to_string(kind), [kind](sim::SystemConfig& cfg) {
+                             cfg.admission.objective = kind;
+                           }});
+  }
+  return axis;
+}
+
+Axis axis_fixed_mode(const std::vector<int>& modes) {
+  Axis axis{"fixed_mode", {}};
+  for (int m : modes) {
+    axis.values.push_back({m == 0 ? std::string("adaptive") : "m" + format_int(m),
+                           [m](sim::SystemConfig& cfg) { cfg.phy.fixed_mode = m; }});
+  }
+  return axis;
+}
+
+std::size_t SweepSpec::scenario_count() const {
+  std::size_t count = 1;
+  for (const Axis& axis : axes) {
+    WCDMA_ASSERT(!axis.values.empty());
+    WCDMA_ASSERT(count <= SIZE_MAX / axis.values.size() && "scenario grid overflows");
+    count *= axis.values.size();
+  }
+  return count;
+}
+
+Scenario SweepSpec::scenario(std::size_t index) const {
+  WCDMA_ASSERT(index < scenario_count());
+  Scenario scenario;
+  scenario.index = index;
+  scenario.config = base;
+  scenario.value_indices.resize(axes.size());
+  // Row-major decode: the first axis varies slowest.
+  std::size_t rest = index;
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    scenario.value_indices[a] = rest % axes[a].values.size();
+    rest /= axes[a].values.size();
+  }
+  scenario.labels.reserve(axes.size());
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    const AxisValue& value = axes[a].values[scenario.value_indices[a]];
+    value.apply(scenario.config);
+    scenario.labels.push_back(value.label);
+  }
+  return scenario;
+}
+
+const SweepSpec& SweepSpec::validate() const {
+  WCDMA_ASSERT(replications >= 1);
+  for (const Axis& axis : axes) {
+    WCDMA_ASSERT(!axis.name.empty());
+    WCDMA_ASSERT(!axis.values.empty());
+  }
+  scenario_count();  // asserts the grid product does not overflow size_t
+  return *this;
+}
+
+std::uint64_t item_seed(std::uint64_t master_seed, std::size_t scenario_index,
+                        std::size_t replication_index) {
+  // Two mixing rounds: first fold in the scenario, then the replication.
+  // Collisions between distinct (scenario, replication) pairs are
+  // birthday-improbable for realistic grid sizes, not impossible.
+  common::SplitMix64 scenario_stream(master_seed +
+                                     0x9e3779b97f4a7c15ULL * (scenario_index + 1));
+  common::SplitMix64 item_stream(scenario_stream.next() +
+                                 0xbf58476d1ce4e5b9ULL * (replication_index + 1));
+  return item_stream.next();
+}
+
+const ScenarioResult& SweepResult::at(const std::vector<std::size_t>& value_indices) const {
+  for (const ScenarioResult& s : scenarios) {
+    if (s.value_indices == value_indices) return s;
+  }
+  WCDMA_ASSERT(false && "no scenario with the requested value indices");
+  return scenarios.front();  // unreachable
+}
+
+SweepResult run_sweep(const SweepSpec& spec, std::size_t threads,
+                      const ProgressFn& progress) {
+  spec.validate();
+  const std::size_t scenarios = spec.scenario_count();
+  const std::size_t reps = spec.replications;
+  WCDMA_ASSERT(reps <= SIZE_MAX / scenarios && "scenario x replication grid overflows");
+  const std::size_t total = scenarios * reps;
+
+  // One slot per (scenario, replication) work item; workers never share a
+  // slot, and the deterministic merge below runs after the barrier.
+  std::vector<sim::SimMetrics> per_item(total);
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  common::parallel_for_index(total, threads, [&](std::size_t item) {
+    const std::size_t scenario_index = item / reps;
+    const std::size_t replication = item % reps;
+    Scenario scenario = spec.scenario(scenario_index);
+    scenario.config.seed = item_seed(
+        spec.base.seed, spec.common_random_numbers ? 0 : scenario_index, replication);
+    sim::Simulator simulator(scenario.config);
+    per_item[item] = simulator.run();
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(++done, total);
+    }
+  });
+
+  SweepResult result;
+  result.name = spec.name;
+  result.replications = reps;
+  for (const Axis& axis : spec.axes) result.axis_names.push_back(axis.name);
+  result.scenarios.resize(scenarios);
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    const Scenario scenario = spec.scenario(s);
+    ScenarioResult& out = result.scenarios[s];
+    out.index = s;
+    out.value_indices = scenario.value_indices;
+    out.labels = scenario.labels;
+    out.replication_mean_delay_s.reserve(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      const sim::SimMetrics& m = per_item[s * reps + r];
+      out.merged.merge(m);
+      out.replication_mean_delay_s.push_back(m.mean_delay_s());
+    }
+  }
+  return result;
+}
+
+common::Table to_table(const SweepResult& result) {
+  std::vector<std::string> headers = {"scenario"};
+  headers.insert(headers.end(), result.axis_names.begin(), result.axis_names.end());
+  for (const char* metric :
+       {"mean_delay_s", "p95_delay_s", "throughput_kbps", "grant_rate", "mean_sgr",
+        "sch_outage_rate"}) {
+    headers.push_back(metric);
+  }
+  common::Table table(std::move(headers));
+  for (const ScenarioResult& s : result.scenarios) {
+    std::vector<std::string> row = {std::to_string(s.index)};
+    row.insert(row.end(), s.labels.begin(), s.labels.end());
+    const sim::SimMetrics& m = s.merged;
+    for (double v : {m.mean_delay_s(), m.p95_delay_s(), m.data_throughput_bps() / 1000.0,
+                     m.grant_rate(), m.granted_sgr.mean(), m.sch_outage_rate()}) {
+      row.push_back(common::format_double(v, 6));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string to_csv(const SweepResult& result) { return to_table(result).render_csv(); }
+
+std::string to_json(const SweepResult& result) { return to_table(result).render_json(); }
+
+}  // namespace wcdma::sweep

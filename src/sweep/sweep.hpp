@@ -1,0 +1,122 @@
+// Parallel scenario-sweep engine.
+//
+// The paper's whole evaluation (E1-E7) is a family of parameter sweeps over
+// one SystemConfig; this subsystem makes that a first-class object instead
+// of a hand-rolled loop per bench.  A SweepSpec names axes over config
+// knobs, expands to a deterministic mixed-radix grid of scenarios, and the
+// runner shards (scenario x replication) work items across a thread pool.
+// Per-item seeds derive from (master seed, scenario index, replication
+// index), and replications merge in index order, so the merged results are
+// bit-identical for any worker count, including 0 (inline execution).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/table.hpp"
+#include "src/sim/config.hpp"
+#include "src/sim/metrics.hpp"
+
+namespace wcdma::sweep {
+
+/// One point on an axis: a display label plus the config mutation it means.
+struct AxisValue {
+  std::string label;
+  std::function<void(sim::SystemConfig&)> apply;
+};
+
+/// One swept dimension; the grid is the cross product of all axes.
+struct Axis {
+  std::string name;
+  std::vector<AxisValue> values;
+};
+
+// --- Axis factories for the SystemConfig knobs the benches sweep ---
+Axis axis_data_users(const std::vector<int>& counts);
+Axis axis_voice_users(const std::vector<int>& counts);
+/// Sets mobility.max_speed_mps (min stays at the config default).
+Axis axis_max_speed_kmh(const std::vector<double>& kmh);
+/// Switches to the log-distance model with the given exponents.
+Axis axis_path_loss_exponent(const std::vector<double>& exponents);
+Axis axis_shadowing_sigma_db(const std::vector<double>& sigmas);
+Axis axis_scheduler(const std::vector<admission::SchedulerKind>& kinds);
+Axis axis_objective(const std::vector<admission::ObjectiveKind>& kinds);
+/// 0 = adaptive VTAOC, 1..6 = fixed-rate ablation at that mode.
+Axis axis_fixed_mode(const std::vector<int>& modes);
+
+/// One fully-expanded grid point.
+struct Scenario {
+  std::size_t index = 0;
+  /// Per-axis value index (mixed-radix digits of `index`).
+  std::vector<std::size_t> value_indices;
+  /// Per-axis display label.
+  std::vector<std::string> labels;
+  sim::SystemConfig config;
+};
+
+struct SweepSpec {
+  std::string name;
+  sim::SystemConfig base;
+  std::vector<Axis> axes;
+  std::size_t replications = 1;
+  /// Common random numbers: replication r draws the same seed in every
+  /// scenario, so compared grid cells see identical user drops and channel
+  /// realisations (paired comparison, variance reduction).  Off by default:
+  /// each (scenario, replication) item gets an independent stream.
+  bool common_random_numbers = false;
+
+  /// Product of axis sizes (1 when there are no axes).
+  std::size_t scenario_count() const;
+  /// Decodes `index` (row-major, first axis slowest) and applies the axis
+  /// values to a copy of `base`.
+  Scenario scenario(std::size_t index) const;
+  /// Aborts on empty axes or zero replications; returns *this for chaining.
+  const SweepSpec& validate() const;
+};
+
+/// Deterministic seed for one (scenario, replication) work item.  Derived
+/// from the master seed by two SplitMix64 mixing rounds so distinct items
+/// never share a stream.
+std::uint64_t item_seed(std::uint64_t master_seed, std::size_t scenario_index,
+                        std::size_t replication_index);
+
+struct ScenarioResult {
+  std::size_t index = 0;
+  std::vector<std::size_t> value_indices;
+  std::vector<std::string> labels;
+  /// Metrics merged over replications, in replication order.
+  sim::SimMetrics merged;
+  /// Per-replication mean burst delays, for confidence intervals.
+  std::vector<double> replication_mean_delay_s;
+};
+
+struct SweepResult {
+  std::string name;
+  std::vector<std::string> axis_names;
+  std::size_t replications = 0;
+  /// Ordered by scenario index.
+  std::vector<ScenarioResult> scenarios;
+
+  /// Result for the scenario with the given per-axis value indices.
+  const ScenarioResult& at(const std::vector<std::size_t>& value_indices) const;
+};
+
+/// Called after each finished work item with (done, total); serialised, may
+/// be invoked from worker threads.
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Runs the full (scenario x replication) grid on `threads` workers
+/// (0 = inline on the caller); the master seed is `spec.base.seed`.
+SweepResult run_sweep(const SweepSpec& spec, std::size_t threads,
+                      const ProgressFn& progress = nullptr);
+
+/// Standard result table: one row per scenario with the axis labels plus
+/// the headline metrics (delay, throughput, grant rate, SGR, outage).
+common::Table to_table(const SweepResult& result);
+std::string to_csv(const SweepResult& result);
+std::string to_json(const SweepResult& result);
+
+}  // namespace wcdma::sweep

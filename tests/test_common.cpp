@@ -351,6 +351,32 @@ TEST(Table, RendersAlignedColumns) {
   EXPECT_EQ(t.row_count(), 2u);
 }
 
+TEST(Table, RendersCsvWithEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1.5"});
+  t.add_row({"with,comma", "say \"hi\""});
+  EXPECT_EQ(t.render_csv(),
+            "name,value\n"
+            "plain,1.5\n"
+            "\"with,comma\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RendersJsonWithBareNumbers) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "not-a-number"});
+  // strtod would accept these, but the JSON grammar does not: keep quoted.
+  t.add_row({".5", "0x1F"});
+  t.add_row({"-2.5e-3", "1."});
+  const std::string json = t.render_json();
+  EXPECT_NE(json.find("{\"name\": \"alpha\", \"value\": 1.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"value\": \"not-a-number\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \".5\", \"value\": \"0x1F\"}"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": -2.5e-3, \"value\": \"1.\"}"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
 TEST(Table, FormatDouble) {
   EXPECT_EQ(format_double(1.0), "1");
   EXPECT_EQ(format_double(0.5), "0.5");

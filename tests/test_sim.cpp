@@ -161,7 +161,9 @@ TEST(Simulator, FixedModeAblationRuns) {
   const SimMetrics m = simulator.run();
   // All transmitting frames must use the fixed mode.
   for (std::size_t q = 1; q <= 6; ++q) {
-    if (q != 3) EXPECT_EQ(m.mode_frames[q], 0) << "mode " << q;
+    if (q != 3) {
+      EXPECT_EQ(m.mode_frames[q], 0) << "mode " << q;
+    }
   }
 }
 

@@ -1,0 +1,177 @@
+// Scenario-sweep CLI: expands a named preset into its scenario grid, runs
+// (scenario x replication) work items in parallel, and emits the merged
+// metrics as CSV (default), JSON, or an aligned table.  Output is
+// bit-identical for any --threads value, so sweeps are safely parallel.
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/thread_pool.hpp"
+#include "src/sweep/presets.hpp"
+#include "src/sweep/sweep.hpp"
+
+using namespace wcdma;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: sweep_main [options]\n"
+      "  --preset NAME         sweep preset to run (default: smoke)\n"
+      "  --list-presets        list registered presets and exit\n"
+      "  --replications N      override the preset's replication count\n"
+      "  --threads N           worker threads (0 = inline; default: hardware)\n"
+      "  --seed N              override the master seed\n"
+      "  --duration S          override per-scenario sim duration (seconds)\n"
+      "  --format csv|json|table   output format (default: csv)\n"
+      "  --output FILE         write results to FILE instead of stdout\n"
+      "  --progress            report per-item progress on stderr\n");
+}
+
+bool parse_size(const char* text, std::size_t* out) {
+  // strtoull silently wraps negative input ("-1" -> 2^64-1); reject it.
+  if (text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_positive_double(const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  if (!std::isfinite(v) || v <= 0.0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset = "smoke";
+  std::string format = "csv";
+  std::string output_path;
+  std::size_t threads = common::default_thread_count();
+  bool want_progress = false;
+  bool have_replications = false, have_seed = false, have_duration = false;
+  std::size_t replications = 0, seed = 0;
+  double duration_s = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sweep_main: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--list-presets") {
+      for (const std::string& name : sweep::preset_names()) {
+        const sweep::SweepSpec spec = sweep::make_preset(name);
+        std::printf("%-18s %zu scenarios x %zu reps  %s\n", name.c_str(),
+                    spec.scenario_count(), spec.replications,
+                    sweep::preset_description(name).c_str());
+      }
+      return 0;
+    } else if (arg == "--preset") {
+      preset = next_value();
+    } else if (arg == "--format") {
+      format = next_value();
+    } else if (arg == "--output") {
+      output_path = next_value();
+    } else if (arg == "--replications") {
+      have_replications = parse_size(next_value(), &replications);
+      if (!have_replications || replications == 0) {
+        std::fprintf(stderr, "sweep_main: bad --replications value\n");
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      if (!parse_size(next_value(), &threads)) {
+        std::fprintf(stderr, "sweep_main: bad --threads value\n");
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      have_seed = parse_size(next_value(), &seed);
+      if (!have_seed) {
+        std::fprintf(stderr, "sweep_main: bad --seed value\n");
+        return 2;
+      }
+    } else if (arg == "--duration") {
+      have_duration = parse_positive_double(next_value(), &duration_s);
+      if (!have_duration) {
+        std::fprintf(stderr, "sweep_main: bad --duration value\n");
+        return 2;
+      }
+    } else if (arg == "--progress") {
+      want_progress = true;
+    } else {
+      std::fprintf(stderr, "sweep_main: unknown option %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (format != "csv" && format != "json" && format != "table") {
+    std::fprintf(stderr, "sweep_main: unknown format %s\n", format.c_str());
+    return 2;
+  }
+  if (!sweep::has_preset(preset)) {
+    std::fprintf(stderr, "sweep_main: unknown preset %s (try --list-presets)\n",
+                 preset.c_str());
+    return 2;
+  }
+
+  sweep::SweepSpec spec = sweep::make_preset(preset);
+  if (have_replications) spec.replications = replications;
+  if (have_seed) spec.base.seed = seed;
+  if (have_duration) spec.base.sim_duration_s = duration_s;
+
+  sweep::ProgressFn progress;
+  if (want_progress) {
+    progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\rsweep: %zu/%zu items", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
+
+  const sweep::SweepResult result = sweep::run_sweep(spec, threads, progress);
+
+  std::string text;
+  if (format == "csv") {
+    text = sweep::to_csv(result);
+  } else if (format == "json") {
+    text = sweep::to_json(result);
+  } else {
+    text = sweep::to_table(result).render(
+        "sweep " + result.name + ": " + std::to_string(result.scenarios.size()) +
+        " scenarios x " + std::to_string(result.replications) + " reps");
+  }
+
+  if (output_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(output_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "sweep_main: cannot open %s\n", output_path.c_str());
+      return 1;
+    }
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    // fclose flushes; a full disk can surface only here, and a truncated
+    // results file must not exit 0.
+    if (std::fclose(f) != 0 || written != text.size()) {
+      std::fprintf(stderr, "sweep_main: write to %s failed\n", output_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -8,73 +8,37 @@
 // throughput; larger kappa is more conservative on the reverse link
 // (smaller grants, better protection); longer retries lengthen queue
 // delays; a larger reduced active set burns forward power per grant.
-#include <cstdio>
-
+//
+// Each ablation group is one 1-D sweep on the engine; CRN seeding gives
+// every value in a group the same user drop and channel realisation, so the
+// comparison is paired exactly as in the hand-rolled original.
 #include "bench/bench_util.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace wcdma;
 using namespace wcdma::bench;
 
-namespace {
-
-void row(common::Table& t, const char* group, const char* label,
-         const sim::SystemConfig& cfg) {
-  sim::Simulator simulator(cfg);
-  const sim::SimMetrics m = simulator.run();
-  const double viol_rate = m.sch_frames > 0 ? static_cast<double>(m.ber_violation_frames) /
-                                                  static_cast<double>(m.sch_frames)
-                                            : 0.0;
-  t.add_row({group, label, common::format_double(m.mean_delay_s(), 4),
-             common::format_double(m.queue_delay_s.mean(), 4),
-             common::format_double(m.data_throughput_bps() / 1000.0, 4),
-             common::format_double(m.granted_sgr.mean(), 3),
-             common::format_double(viol_rate, 3)});
-}
-
-}  // namespace
-
 int main() {
   common::Table t({"ablation", "value", "mean-delay(s)", "queue-delay(s)",
                    "throughput(kbps)", "mean-SGR", "BER-violation"});
-
-  for (const std::size_t delay : {0u, 1u, 4u, 8u}) {
-    sim::SystemConfig cfg = hotspot_config(4012);
-    cfg.data.users = 16;
-    cfg.phy.feedback_delay_frames = delay;
-    char label[32];
-    std::snprintf(label, sizeof(label), "%zu frames", delay);
-    row(t, "feedback-delay", label, cfg);
+  for (const sweep::SweepSpec& spec : scenario::e12_ablations()) {
+    const sweep::SweepResult result =
+        sweep::run_sweep(spec, common::default_thread_count());
+    for (const sweep::ScenarioResult& s : result.scenarios) {
+      const sim::SimMetrics& m = s.merged;
+      const double viol_rate =
+          m.sch_frames > 0 ? static_cast<double>(m.ber_violation_frames) /
+                                 static_cast<double>(m.sch_frames)
+                           : 0.0;
+      t.add_row({result.name, s.labels[0],
+                 common::format_double(m.mean_delay_s(), 4),
+                 common::format_double(m.queue_delay_s.mean(), 4),
+                 common::format_double(m.data_throughput_bps() / 1000.0, 4),
+                 common::format_double(m.granted_sgr.mean(), 3),
+                 common::format_double(viol_rate, 3)});
+    }
   }
-
-  for (const double kappa_db : {0.0, 2.0, 6.0}) {
-    sim::SystemConfig cfg = hotspot_config(4012);
-    cfg.data.users = 16;
-    cfg.data.forward_fraction = 0.0;  // reverse link: kappa matters there
-    cfg.admission.kappa_margin_db = kappa_db;
-    char label[32];
-    std::snprintf(label, sizeof(label), "%.0f dB", kappa_db);
-    row(t, "kappa-margin", label, cfg);
-  }
-
-  for (const double retry : {0.02, 0.26, 1.0}) {
-    sim::SystemConfig cfg = hotspot_config(4012);
-    cfg.data.users = 20;
-    cfg.admission.scrm_retry_s = retry;
-    char label[32];
-    std::snprintf(label, sizeof(label), "%.2f s", retry);
-    row(t, "scrm-retry", label, cfg);
-  }
-
-  for (const std::size_t reduced : {1u, 2u, 3u}) {
-    sim::SystemConfig cfg = hotspot_config(4012);
-    cfg.data.users = 16;
-    cfg.active_set.reduced_size = reduced;
-    cfg.active_set.max_size = 3;
-    char label[32];
-    std::snprintf(label, sizeof(label), "%zu legs", reduced);
-    row(t, "reduced-set", label, cfg);
-  }
-
   t.print("E12: design-choice ablations (7-cell hotspot)");
   return 0;
 }

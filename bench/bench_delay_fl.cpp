@@ -17,17 +17,8 @@ using namespace wcdma;
 using namespace wcdma::bench;
 
 int main() {
-  sweep::SweepSpec spec;
-  spec.name = "E4-delay-fl";
-  spec.base = hotspot_config(4001);
-  spec.base.data.forward_fraction = 1.0;  // all downloads
-  spec.axes = {sweep::axis_data_users({4, 8, 12, 16, 20, 24}),
-               sweep::axis_scheduler(headline_schedulers())};
-  spec.replications = 3;
-  spec.common_random_numbers = true;  // paired comparison across schedulers
-
   const sweep::SweepResult result =
-      sweep::run_sweep(spec, common::default_thread_count());
+      sweep::run_sweep(scenario::e4_delay_fl(), common::default_thread_count());
 
   common::Table t({"data-users", "scheduler", "mean-delay(s)", "p95-delay(s)",
                    "throughput(kbps)", "grant-rate", "mean-SGR"});

@@ -6,45 +6,27 @@
 // T2/T3 push more re-activations into the penalised states, amplifying the
 // effect; J2 (which sees w = t_w + D_s) absorbs part of the hit relative to
 // J1.
-#include <cstdio>
-
+//
+// Runs on the sweep engine: a compound timer axis crossed with the
+// objective axis, CRN-paired so every cell sees the same user drop.
 #include "bench/bench_util.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace wcdma;
 using namespace wcdma::bench;
 
 int main() {
-  struct Case {
-    const char* label;
-    double t2, t3, d1, d2;
-  };
-  const Case cases[] = {
-      {"no-penalty", 2.0, 10.0, 0.0, 0.0},
-      {"default", 2.0, 10.0, 0.040, 0.300},
-      {"slow-reacquire", 2.0, 10.0, 0.200, 1.000},
-      {"eager-timers", 0.5, 2.0, 0.040, 0.300},
-      {"eager+slow", 0.5, 2.0, 0.200, 1.000},
-  };
+  const sweep::SweepResult result =
+      sweep::run_sweep(scenario::e11_mac_states(), common::default_thread_count());
 
   common::Table t({"timers", "objective", "mean-delay(s)", "p95-delay(s)",
                    "queue-delay(s)"});
-  for (const Case& c : cases) {
-    for (const auto obj :
-         {admission::ObjectiveKind::kJ2DelayAware, admission::ObjectiveKind::kJ1MaxRate}) {
-      sim::SystemConfig cfg = hotspot_config(4011);
-      cfg.data.users = 18;
-      cfg.data.mean_reading_s = 3.0;  // long gaps: MAC decays between bursts
-      cfg.mac_timers.t2_s = c.t2;
-      cfg.mac_timers.t3_s = c.t3;
-      cfg.mac_timers.d1_s = c.d1;
-      cfg.mac_timers.d2_s = c.d2;
-      cfg.admission.objective = obj;
-      sim::Simulator simulator(cfg);
-      const sim::SimMetrics m = simulator.run();
-      t.add_row({c.label, to_string(obj), common::format_double(m.mean_delay_s(), 4),
-                 common::format_double(m.p95_delay_s(), 4),
-                 common::format_double(m.queue_delay_s.mean(), 4)});
-    }
+  for (const sweep::ScenarioResult& s : result.scenarios) {
+    const sim::SimMetrics& m = s.merged;
+    t.add_row({s.labels[0], s.labels[1], common::format_double(m.mean_delay_s(), 4),
+               common::format_double(m.p95_delay_s(), 4),
+               common::format_double(m.queue_delay_s.mean(), 4)});
   }
   t.print("E11: MAC set-up penalty sweep (Fig. 3 timers; Eq. 22-23)");
   return 0;

@@ -5,40 +5,25 @@
 // poor-channel requests age (worse tail delay and fairness); J2 trades a
 // little throughput for a flatter delay distribution, increasingly so as
 // lambda grows.
-#include <cstdio>
-
+//
+// Runs on the sweep engine: one compound (objective, lambda, mu) axis with
+// CRN seeding, so every objective scores the same user drop.
 #include "bench/bench_util.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace wcdma;
 using namespace wcdma::bench;
 
 int main() {
-  struct Case {
-    const char* label;
-    admission::ObjectiveKind kind;
-    double lambda;
-    double mu;
-  };
-  const Case cases[] = {
-      {"J1", admission::ObjectiveKind::kJ1MaxRate, 0.0, 0.5},
-      {"J2(l=0.5,mu=0.5)", admission::ObjectiveKind::kJ2DelayAware, 0.5, 0.5},
-      {"J2(l=2,mu=0.5)", admission::ObjectiveKind::kJ2DelayAware, 2.0, 0.5},
-      {"J2(l=10,mu=0.5)", admission::ObjectiveKind::kJ2DelayAware, 10.0, 0.5},
-      {"J2(l=2,mu=0.1)", admission::ObjectiveKind::kJ2DelayAware, 2.0, 0.1},
-      {"J2(l=2,mu=2.0)", admission::ObjectiveKind::kJ2DelayAware, 2.0, 2.0},
-  };
+  const sweep::SweepResult result =
+      sweep::run_sweep(scenario::e10_objectives(), common::default_thread_count());
 
   common::Table t({"objective", "mean-delay(s)", "p95-delay(s)", "throughput(kbps)",
                    "max-queue-wait(s)"});
-  for (const Case& c : cases) {
-    sim::SystemConfig cfg = hotspot_config(4010);
-    cfg.data.users = 20;
-    cfg.admission.objective = c.kind;
-    cfg.admission.penalty.lambda = c.lambda;
-    cfg.admission.penalty.mu = c.mu;
-    sim::Simulator simulator(cfg);
-    const sim::SimMetrics m = simulator.run();
-    t.add_row({c.label, common::format_double(m.mean_delay_s(), 4),
+  for (const sweep::ScenarioResult& s : result.scenarios) {
+    const sim::SimMetrics& m = s.merged;
+    t.add_row({s.labels[0], common::format_double(m.mean_delay_s(), 4),
                common::format_double(m.p95_delay_s(), 4),
                common::format_double(m.data_throughput_bps() / 1000.0, 4),
                common::format_double(m.queue_delay_s.max(), 4)});

@@ -6,42 +6,41 @@
 // (adaptive PHY + optimising scheduler) gains more than the sum of the
 // individual improvements, because the scheduler's objective actually sees
 // the per-user channel state through delta-beta.
+//
+// Runs on the sweep engine; CRN seeding means all four cells of the 2x2 see
+// the same user drop, so the synergy arithmetic is a paired comparison.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace wcdma;
 using namespace wcdma::bench;
 
 int main() {
+  const sweep::SweepResult result =
+      sweep::run_sweep(scenario::e8_synergy(), common::default_thread_count());
+
   common::Table t({"PHY", "scheduler", "mean-delay(s)", "p95-delay(s)",
                    "throughput(kbps)", "mean-SGR"});
-  double delay[2][2] = {};
-  int pi = 0;
-  for (const int fixed_mode : {0, 3}) {  // 0 = adaptive VTAOC
-    int si = 0;
-    for (const auto kind :
-         {admission::SchedulerKind::kJabaSd, admission::SchedulerKind::kFcfsSingle}) {
-      sim::SystemConfig cfg = hotspot_config(4008);
-      cfg.data.users = 20;
-      cfg.phy.fixed_mode = fixed_mode;
-      cfg.admission.scheduler = kind;
-      const Row r = run_row(cfg);
-      delay[pi][si] = r.mean_delay_s;
-      t.add_row({fixed_mode == 0 ? "adaptive" : "fixed-m3", to_string(kind),
-                 common::format_double(r.mean_delay_s, 4),
-                 common::format_double(r.p95_delay_s, 4),
-                 common::format_double(r.throughput_kbps, 4),
-                 common::format_double(r.mean_sgr, 3)});
-      ++si;
-    }
-    ++pi;
+  for (const sweep::ScenarioResult& s : result.scenarios) {
+    const Row r = metrics_to_row(s.merged);
+    t.add_row({s.labels[0], s.labels[1], common::format_double(r.mean_delay_s, 4),
+               common::format_double(r.p95_delay_s, 4),
+               common::format_double(r.throughput_kbps, 4),
+               common::format_double(r.mean_sgr, 3)});
   }
   t.print("E8: synergy 2x2 - PHY adaptivity x scheduler (20 data users)");
 
-  const double gain_phy = delay[1][1] - delay[0][1];    // PHY alone (under FCFS)
-  const double gain_sched = delay[1][1] - delay[1][0];  // scheduler alone (fixed PHY)
-  const double gain_joint = delay[1][1] - delay[0][0];  // both
+  // Axis 0 is the PHY (0 = adaptive, 1 = fixed-m3); axis 1 the scheduler
+  // (0 = JABA-SD, 1 = FCFS-single).
+  auto delay = [&result](std::size_t phy, std::size_t sched) {
+    return result.at({phy, sched}).merged.mean_delay_s();
+  };
+  const double gain_phy = delay(1, 1) - delay(0, 1);    // PHY alone (under FCFS)
+  const double gain_sched = delay(1, 1) - delay(1, 0);  // scheduler alone (fixed PHY)
+  const double gain_joint = delay(1, 1) - delay(0, 0);  // both
   std::printf("\n# delay reduction vs (fixed, FCFS-single): PHY alone %.3f s,"
               " scheduler alone %.3f s, jointly %.3f s (synergy when joint >"
               " sum of parts: %+0.3f s)\n",

@@ -1,5 +1,6 @@
 // Shared helpers for the experiment harnesses: canonical scenario builders
-// and row extraction, so every bench prints comparable tables.
+// (delegating to src/scenario) and row extraction, so every bench prints
+// comparable tables.
 #pragma once
 
 #include <string>
@@ -7,6 +8,7 @@
 
 #include "src/admission/schedulers.hpp"
 #include "src/common/table.hpp"
+#include "src/scenario/experiments.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -15,36 +17,16 @@ namespace wcdma::bench {
 /// Compact 7-cell hotspot scenario used by the load sweeps: every user in
 /// the central cell's footprint so burst requests actually contend.
 inline sim::SystemConfig hotspot_config(std::uint64_t seed) {
-  sim::SystemConfig cfg = sim::default_config();
-  cfg.layout.rings = 1;  // 7 cells
-  cfg.voice.users = 30;
-  cfg.data.users = 12;
-  cfg.data.mean_reading_s = 1.0;
-  cfg.mobility.region_radius_m = cfg.layout.cell_radius_m;
-  cfg.sim_duration_s = 50.0;
-  cfg.warmup_s = 8.0;
-  cfg.seed = seed;
-  return cfg;
+  return scenario::hotspot_cell_config(seed);
 }
 
 /// Full 19-cell wide-area scenario (users spread over the whole layout).
 inline sim::SystemConfig wide_config(std::uint64_t seed) {
-  sim::SystemConfig cfg = sim::default_config();
-  cfg.voice.users = 60;
-  cfg.data.users = 16;
-  cfg.data.mean_reading_s = 1.5;
-  cfg.sim_duration_s = 60.0;
-  cfg.warmup_s = 10.0;
-  cfg.seed = seed;
-  return cfg;
+  return scenario::wide_area_config(seed);
 }
 
 inline const std::vector<admission::SchedulerKind>& headline_schedulers() {
-  static const std::vector<admission::SchedulerKind> kinds = {
-      admission::SchedulerKind::kJabaSd, admission::SchedulerKind::kGreedy,
-      admission::SchedulerKind::kFcfs, admission::SchedulerKind::kFcfsSingle,
-      admission::SchedulerKind::kEqualShare};
-  return kinds;
+  return scenario::headline_schedulers();
 }
 
 struct Row {
@@ -58,24 +40,6 @@ struct Row {
 inline Row metrics_to_row(const sim::SimMetrics& m) {
   return {m.mean_delay_s(), m.p95_delay_s(), m.data_throughput_bps() / 1000.0,
           m.grant_rate(), m.granted_sgr.mean()};
-}
-
-inline Row run_row(const sim::SystemConfig& cfg) {
-  sim::Simulator simulator(cfg);
-  return metrics_to_row(simulator.run());
-}
-
-/// Count-weighted merge over independent replications (heavy-tailed burst
-/// sizes make single runs noisy).
-inline Row run_row_reps(const sim::SystemConfig& cfg, int reps) {
-  sim::SimMetrics merged;
-  for (int r = 0; r < reps; ++r) {
-    sim::SystemConfig rep = cfg;
-    rep.seed = cfg.seed + static_cast<std::uint64_t>(r) * 7919;
-    sim::Simulator simulator(rep);
-    merged.merge(simulator.run());
-  }
-  return metrics_to_row(merged);
 }
 
 }  // namespace wcdma::bench

@@ -10,6 +10,11 @@ namespace wcdma::cell {
 double norm(Point p) { return std::hypot(p.x, p.y); }
 double distance(Point a, Point b) { return norm(a - b); }
 
+std::size_t hex_cell_count(int rings) {
+  WCDMA_ASSERT(rings >= 0);
+  return 1 + 3 * static_cast<std::size_t>(rings) * (static_cast<std::size_t>(rings) + 1);
+}
+
 HexLayout::HexLayout(const HexLayoutConfig& config) : config_(config) {
   WCDMA_ASSERT(config_.rings >= 0);
   WCDMA_ASSERT(config_.cell_radius_m > 0.0);

@@ -30,6 +30,9 @@ struct HexLayoutConfig {
   bool wrap_around = true;
 };
 
+/// Number of cells in a ring layout: 1 + 3*rings*(rings+1).
+std::size_t hex_cell_count(int rings);
+
 class HexLayout {
  public:
   explicit HexLayout(const HexLayoutConfig& config = {});

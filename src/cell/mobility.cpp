@@ -8,19 +8,20 @@ namespace wcdma::cell {
 
 namespace {
 
-Point random_in_disc(common::Rng& rng, double radius) {
-  const double r = radius * std::sqrt(rng.uniform());
+Point random_in_disc(common::Rng& rng, const MobilityConfig& config) {
+  const double r = config.region_radius_m * std::sqrt(rng.uniform());
   const double th = rng.uniform(0.0, 2.0 * M_PI);
-  return {r * std::cos(th), r * std::sin(th)};
+  return config.region_center + Point{r * std::cos(th), r * std::sin(th)};
 }
 
-// Reflect p back into the disc of given radius about the origin.
-Point reflect_into_disc(Point p, double radius) {
-  const double n = norm(p);
-  if (n <= radius || n == 0.0) return p;
-  const double over = n - radius;
-  const double scale = (radius - over) / n;  // fold the overshoot back inside
-  return {p.x * std::max(scale, 0.0), p.y * std::max(scale, 0.0)};
+// Reflect p back into the service disc of the given config.
+Point reflect_into_disc(Point p, const MobilityConfig& config) {
+  const Point rel = p - config.region_center;
+  const double n = norm(rel);
+  if (n <= config.region_radius_m || n == 0.0) return p;
+  const double over = n - config.region_radius_m;
+  const double scale = (config.region_radius_m - over) / n;  // fold overshoot back
+  return config.region_center + std::max(scale, 0.0) * rel;
 }
 
 }  // namespace
@@ -29,12 +30,12 @@ RandomWaypoint::RandomWaypoint(const MobilityConfig& config, common::Rng rng)
     : config_(config), rng_(rng) {
   WCDMA_ASSERT(config_.max_speed_mps >= config_.min_speed_mps);
   WCDMA_ASSERT(config_.min_speed_mps > 0.0);
-  pos_ = random_in_disc(rng_, config_.region_radius_m);
+  pos_ = random_in_disc(rng_, config_);
   pick_waypoint();
 }
 
 void RandomWaypoint::pick_waypoint() {
-  target_ = random_in_disc(rng_, config_.region_radius_m);
+  target_ = random_in_disc(rng_, config_);
   speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
 }
 
@@ -69,7 +70,7 @@ double RandomWaypoint::step(double dt) {
 
 RandomWalk::RandomWalk(const MobilityConfig& config, common::Rng rng)
     : config_(config), rng_(rng) {
-  pos_ = random_in_disc(rng_, config_.region_radius_m);
+  pos_ = random_in_disc(rng_, config_);
   heading_ = rng_.uniform(0.0, 2.0 * M_PI);
   speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
   hold_left_ = rng_.exponential(config_.direction_hold_s);
@@ -81,9 +82,9 @@ double RandomWalk::step(double dt) {
   while (remaining > 0.0) {
     const double leg = std::min(remaining, hold_left_);
     pos_ = pos_ + Point{leg * speed_ * std::cos(heading_), leg * speed_ * std::sin(heading_)};
-    const double before = norm(pos_);
-    pos_ = reflect_into_disc(pos_, config_.region_radius_m);
-    if (norm(pos_) < before) {
+    const double before = norm(pos_ - config_.region_center);
+    pos_ = reflect_into_disc(pos_, config_);
+    if (norm(pos_ - config_.region_center) < before) {
       // Bounced off the boundary: turn around with some scatter.
       heading_ += M_PI + rng_.uniform(-0.5, 0.5);
     }

@@ -14,6 +14,9 @@ struct MobilityConfig {
   double max_speed_mps = 16.7;  // ~60 km/h vehicular
   double pause_s = 0.0;         // random-waypoint pause at each waypoint
   double region_radius_m = 3000.0;
+  /// Centre of the circular service region.  Per-cell load scaling places
+  /// each user in a disc around its home cell, not around the origin.
+  Point region_center{};
   // Random-walk only: mean time between direction changes.
   double direction_hold_s = 10.0;
 };

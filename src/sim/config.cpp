@@ -13,6 +13,18 @@ const SystemConfig& SystemConfig::validate() const {
   WCDMA_ASSERT(radio.orthogonality_loss >= 0.0 && radio.orthogonality_loss <= 1.0);
   WCDMA_ASSERT(phy.fixed_mode >= 0 && phy.fixed_mode <= phy.vtaoc.num_modes);
   WCDMA_ASSERT(admission.min_burst_s >= frame_s);
+  WCDMA_ASSERT(placement.carriers >= 1);
+  WCDMA_ASSERT(placement.home_radius_scale > 0.0);
+  if (!placement.cell_weights.empty()) {
+    WCDMA_ASSERT(placement.cell_weights.size() == cell::hex_cell_count(layout.rings) &&
+                 "one placement weight per layout cell");
+    double sum = 0.0;
+    for (double w : placement.cell_weights) {
+      WCDMA_ASSERT(w >= 0.0);
+      sum += w;
+    }
+    WCDMA_ASSERT(sum > 0.0 && "placement weights must have positive mass");
+  }
   return *this;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/admission/objectives.hpp"
 #include "src/admission/schedulers.hpp"
@@ -80,6 +81,25 @@ struct AdmissionScenario {
   double scrm_retry_s = 0.26;
 };
 
+/// Where users live and roam.  The default (empty weights) is the legacy
+/// behaviour: every user draws waypoints uniformly over one service disc.
+/// Non-empty weights give per-cell load scaling: each user samples a home
+/// cell proportionally to its weight and roams a disc around that cell's
+/// centre, so hotspot and corridor load patterns are plain config edits.
+struct PlacementConfig {
+  /// Relative placement weight per cell; empty = uniform over the service
+  /// disc, otherwise must have one non-negative entry per layout cell with
+  /// a positive sum.
+  std::vector<double> cell_weights;
+  /// Radius of a user's home region, as a multiple of the cell radius
+  /// (only used when cell_weights is non-empty).
+  double home_radius_scale = 1.2;
+  /// Independent WCDMA carriers (frequencies).  Users are assigned
+  /// round-robin; each (cell, carrier) pair is its own interference domain
+  /// with its own power amplifier and rise budget.
+  int carriers = 1;
+};
+
 struct SystemConfig {
   std::uint64_t seed = 42;
   double frame_s = 0.020;
@@ -88,6 +108,7 @@ struct SystemConfig {
 
   cell::HexLayoutConfig layout{};          // 19 cells by default
   cell::MobilityConfig mobility{};
+  PlacementConfig placement{};
   cell::ActiveSetConfig active_set{};
   channel::PathLossConfig path_loss{};
   channel::ShadowingConfig shadowing{};

@@ -47,7 +47,8 @@ Simulator::Simulator(const SystemConfig& config)
   fch_pg_ = config_.spreading.chip_rate_hz / config_.spreading.fch_bit_rate;
   fch_sir_target_ = common::db_to_linear(config_.radio.fch_ebio_target_db);
 
-  stations_.resize(layout_.num_cells());
+  stations_.resize(layout_.num_cells() *
+                   static_cast<std::size_t>(config_.placement.carriers));
   const double idle_w = config_.radio.pilot_power_w + config_.radio.common_power_w;
   for (auto& bs : stations_) {
     bs.forward_w = idle_w;
@@ -58,6 +59,16 @@ Simulator::Simulator(const SystemConfig& config)
   // Mobility region spans the whole layout unless the scenario pinned it.
   cell::MobilityConfig mob = config_.mobility;
   if (mob.region_radius_m <= 0.0) mob.region_radius_m = layout_.service_radius_m();
+
+  // Per-cell load scaling: cumulative placement weights for home-cell draws.
+  std::vector<double> cum_weights;
+  if (!config_.placement.cell_weights.empty()) {
+    double sum = 0.0;
+    for (double w : config_.placement.cell_weights) {
+      sum += w;
+      cum_weights.push_back(sum);
+    }
+  }
 
   channel::LinkConfig link_cfg;
   link_cfg.shadowing = config_.shadowing;
@@ -75,8 +86,24 @@ Simulator::Simulator(const SystemConfig& config)
     User& u = users_.back();
     u.id = i;
     u.is_data = i >= config_.voice.users;
+    u.carrier = i % config_.placement.carriers;
 
-    u.mobility = std::make_unique<cell::RandomWaypoint>(mob, user_rng.fork(1));
+    // Per-cell placement: sample the home cell by weight and confine the
+    // user to a disc around it.  The draw comes from its own fork so the
+    // legacy uniform path consumes exactly the streams it always did.
+    cell::MobilityConfig user_mob = mob;
+    u.home_cell = layout_.nearest_cell(mob.region_center);
+    if (!cum_weights.empty()) {
+      const double pick = user_rng.fork(5).uniform() * cum_weights.back();
+      std::size_t home = 0;
+      while (home + 1 < cum_weights.size() && pick >= cum_weights[home]) ++home;
+      u.home_cell = home;
+      user_mob.region_center = layout_.center(home);
+      user_mob.region_radius_m =
+          config_.placement.home_radius_scale * layout_.cell_radius_m();
+    }
+
+    u.mobility = std::make_unique<cell::RandomWaypoint>(user_mob, user_rng.fork(1));
     const double speed = u.mobility->speed_mps();
     link_cfg.doppler_hz = common::doppler_hz(std::max(speed, 0.3), config_.carrier_hz);
     u.links.reserve(layout_.num_cells());
@@ -133,8 +160,10 @@ void Simulator::step_frame() {
   step_reverse_measurements();
   step_power_control();
   step_traffic();
-  run_admission(mac::LinkDirection::kForward);
-  run_admission(mac::LinkDirection::kReverse);
+  for (int c = 0; c < config_.placement.carriers; ++c) {
+    run_admission(mac::LinkDirection::kForward, c);
+    run_admission(mac::LinkDirection::kReverse, c);
+  }
   step_transmission();
   update_transmit_powers();
   collect_frame_metrics();
@@ -156,14 +185,17 @@ void Simulator::step_mobility_and_channel() {
 }
 
 void Simulator::step_forward_measurements() {
+  const std::size_t cells = layout_.num_cells();
   for (auto& u : users_) {
+    // Only the user's own carrier contributes interference: other carriers
+    // are separate frequencies.
     double total = noise_w_;
-    for (std::size_t k = 0; k < stations_.size(); ++k) {
-      total += stations_[k].prev_forward_w * u.gain_mean[k];
+    for (std::size_t k = 0; k < cells; ++k) {
+      total += stations_[station_index(k, u.carrier)].prev_forward_w * u.gain_mean[k];
     }
     u.fwd_interference_w = total;
-    std::vector<double> pilot_db(stations_.size());
-    for (std::size_t k = 0; k < stations_.size(); ++k) {
+    std::vector<double> pilot_db(cells);
+    for (std::size_t k = 0; k < cells; ++k) {
       u.pilot_fl[k] = config_.radio.pilot_power_w * u.gain_mean[k] / total;
       pilot_db[k] = common::linear_to_db(std::max(u.pilot_fl[k], kTiny));
     }
@@ -171,7 +203,8 @@ void Simulator::step_forward_measurements() {
 
     // Own-cell orthogonality credit on the primary leg.
     const std::size_t prim = u.active_set.primary();
-    const double own = stations_[prim].prev_forward_w * u.gain_mean[prim];
+    const double own =
+        stations_[station_index(prim, u.carrier)].prev_forward_w * u.gain_mean[prim];
     u.fwd_interference_eff_w =
         total - (1.0 - config_.radio.orthogonality_loss) * own;
     WCDMA_DEBUG_ASSERT(u.fwd_interference_eff_w > 0.0);
@@ -180,10 +213,11 @@ void Simulator::step_forward_measurements() {
 
 void Simulator::step_reverse_measurements() {
   for (auto& bs : stations_) bs.received_w = noise_w_;
+  const std::size_t cells = layout_.num_cells();
   for (const auto& u : users_) {
     if (u.prev_tx_w <= 0.0) continue;
-    for (std::size_t k = 0; k < stations_.size(); ++k) {
-      stations_[k].received_w += u.prev_tx_w * u.gain_mean[k];
+    for (std::size_t k = 0; k < cells; ++k) {
+      stations_[station_index(k, u.carrier)].received_w += u.prev_tx_w * u.gain_mean[k];
     }
   }
 }
@@ -210,9 +244,10 @@ void Simulator::step_power_control() {
       const std::size_t prim = u.active_set.primary();
       const double fch_tx =
           u.rl_pc.power_watt() * config_.admission.zeta_fch_pilot_ratio;
-      const double sir = fch_tx * u.gain_mean[prim] * fch_pg_ /
-                         std::max(stations_[prim].received_w, kTiny) *
-                         u.active_set.reverse_adjustment();
+      const double sir =
+          fch_tx * u.gain_mean[prim] * fch_pg_ /
+          std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
+          u.active_set.reverse_adjustment();
       u.fch_sir_linear = std::max(sir, kTiny);
       u.rl_pc.update(common::linear_to_db(u.fch_sir_linear));
       if (u.rl_pc.saturated() && !in_warmup()) ++metrics_.mobile_power_saturations;
@@ -235,9 +270,10 @@ void Simulator::step_power_control() {
       const std::size_t prim = u.active_set.primary();
       const double fch_tx =
           u.rl_pc.power_watt() * config_.admission.zeta_fch_pilot_ratio;
-      const double sir = fch_tx * u.gain_mean[prim] * fch_pg_ /
-                         std::max(stations_[prim].received_w, kTiny) *
-                         u.active_set.reverse_adjustment();
+      const double sir =
+          fch_tx * u.gain_mean[prim] * fch_pg_ /
+          std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
+          u.active_set.reverse_adjustment();
       u.rl_pc.update(common::linear_to_db(std::max(sir, kTiny)));
     }
   }
@@ -302,11 +338,12 @@ std::size_t Simulator::coverage_bin(const User& u) const {
   return std::min(bin, kCoverageBins - 1);
 }
 
-void Simulator::run_admission(mac::LinkDirection direction) {
-  // Gather pending requests for this direction.
+void Simulator::run_admission(mac::LinkDirection direction, int carrier) {
+  // Gather pending requests for this direction on this carrier.
   std::vector<User*> pending;
   for (auto& u : users_) {
     if (!u.is_data || !u.has_pending || u.burst.active) continue;
+    if (u.carrier != carrier) continue;
     if (now_s_ < u.next_eligible_s) continue;  // SCRM persistence gate
     const bool fwd = direction == mac::LinkDirection::kForward;
     if (u.forward_dir != fwd) continue;
@@ -323,9 +360,9 @@ void Simulator::run_admission(mac::LinkDirection direction) {
     admission::ForwardLinkInputs inputs;
     inputs.p_max_watt = config_.radio.bs_max_power_w;
     inputs.gamma_s = config_.spreading.gamma_s;
-    inputs.cell_load_watt.resize(stations_.size());
-    for (std::size_t k = 0; k < stations_.size(); ++k) {
-      inputs.cell_load_watt[k] = stations_[k].prev_forward_w;
+    inputs.cell_load_watt.resize(layout_.num_cells());
+    for (std::size_t k = 0; k < layout_.num_cells(); ++k) {
+      inputs.cell_load_watt[k] = stations_[station_index(k, carrier)].prev_forward_w;
     }
     inputs.users.resize(nd);
     for (std::size_t j = 0; j < nd; ++j) {
@@ -342,9 +379,9 @@ void Simulator::run_admission(mac::LinkDirection direction) {
     inputs.l_max_watt = l_max_w_;
     inputs.gamma_s = config_.spreading.gamma_s;
     inputs.kappa = common::db_to_linear(config_.admission.kappa_margin_db);
-    inputs.cell_interference_watt.resize(stations_.size());
-    for (std::size_t k = 0; k < stations_.size(); ++k) {
-      inputs.cell_interference_watt[k] = stations_[k].received_w;
+    inputs.cell_interference_watt.resize(layout_.num_cells());
+    for (std::size_t k = 0; k < layout_.num_cells(); ++k) {
+      inputs.cell_interference_watt[k] = stations_[station_index(k, carrier)].received_w;
     }
     inputs.users.resize(nd);
     for (std::size_t j = 0; j < nd; ++j) {
@@ -355,12 +392,14 @@ void Simulator::run_admission(mac::LinkDirection direction) {
       const double pilot_tx = u.rl_pc.power_watt();
       for (std::size_t k : u.active_set.reduced()) {
         const double xi_rl =
-            pilot_tx * u.gain_mean[k] / std::max(stations_[k].received_w, kTiny);
+            pilot_tx * u.gain_mean[k] /
+            std::max(stations_[station_index(k, carrier)].received_w, kTiny);
         m.soft_handoff.push_back({k, std::max(xi_rl, kTiny)});
       }
       // SCRM: up to 8 strongest forward pilots (footnote 6).
       std::vector<std::pair<double, std::size_t>> ranked;
-      for (std::size_t k = 0; k < stations_.size(); ++k) ranked.push_back({u.pilot_fl[k], k});
+      for (std::size_t k = 0; k < layout_.num_cells(); ++k)
+        ranked.push_back({u.pilot_fl[k], k});
       std::sort(ranked.begin(), ranked.end(),
                 [](const auto& a, const auto& b) { return a.first > b.first; });
       const std::size_t n_report = std::min<std::size_t>(ranked.size(), 8);
@@ -503,11 +542,13 @@ void Simulator::update_transmit_powers() {
     // (Eq. 5-6).
     if (u.fch_on && (!u.is_data || u.forward_dir)) {
       const double fch_w = u.fl_pc.power_watt() * fch_scale;
-      for (std::size_t k : u.active_set.members()) stations_[k].forward_w += fch_w;
+      for (std::size_t k : u.active_set.members())
+        stations_[station_index(k, u.carrier)].forward_w += fch_w;
       if (bursting && u.is_data) {
         const double sch_w =
             config_.spreading.gamma_s * u.burst.m * u.fl_pc.power_watt();
-        for (std::size_t k : u.active_set.reduced()) stations_[k].forward_w += sch_w;
+        for (std::size_t k : u.active_set.reduced())
+          stations_[station_index(k, u.carrier)].forward_w += sch_w;
       }
     }
 
@@ -554,14 +595,31 @@ void Simulator::collect_frame_metrics() {
   metrics_.pending_queue_len.add(static_cast<double>(queue));
 }
 
-double Simulator::forward_power_w(std::size_t cell) const {
-  WCDMA_ASSERT(cell < stations_.size());
-  return stations_[cell].forward_w;
+double Simulator::forward_power_w(std::size_t cell, int carrier) const {
+  WCDMA_ASSERT(cell < layout_.num_cells());
+  WCDMA_ASSERT(carrier >= 0 && carrier < config_.placement.carriers);
+  return stations_[station_index(cell, carrier)].forward_w;
 }
 
-double Simulator::reverse_interference_w(std::size_t cell) const {
-  WCDMA_ASSERT(cell < stations_.size());
-  return stations_[cell].received_w;
+double Simulator::reverse_interference_w(std::size_t cell, int carrier) const {
+  WCDMA_ASSERT(cell < layout_.num_cells());
+  WCDMA_ASSERT(carrier >= 0 && carrier < config_.placement.carriers);
+  return stations_[station_index(cell, carrier)].received_w;
+}
+
+cell::Point Simulator::user_position(std::size_t user) const {
+  WCDMA_ASSERT(user < users_.size());
+  return users_[user].mobility->position();
+}
+
+int Simulator::user_carrier(std::size_t user) const {
+  WCDMA_ASSERT(user < users_.size());
+  return users_[user].carrier;
+}
+
+std::size_t Simulator::user_home_cell(std::size_t user) const {
+  WCDMA_ASSERT(user < users_.size());
+  return users_[user].home_cell;
 }
 
 int Simulator::active_bursts() const {

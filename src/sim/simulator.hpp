@@ -54,14 +54,24 @@ class Simulator {
 
   // --- Introspection for tests/examples ---
   std::size_t num_cells() const { return layout_.num_cells(); }
+  int num_carriers() const { return config_.placement.carriers; }
   std::size_t num_users() const { return users_.size(); }
-  double forward_power_w(std::size_t cell) const;
-  double reverse_interference_w(std::size_t cell) const;
+  double forward_power_w(std::size_t cell, int carrier = 0) const;
+  double reverse_interference_w(std::size_t cell, int carrier = 0) const;
+  cell::Point user_position(std::size_t user) const;
+  int user_carrier(std::size_t user) const;
+  /// Home cell under per-cell placement; nearest cell to the region centre
+  /// otherwise.
+  std::size_t user_home_cell(std::size_t user) const;
   double thermal_noise_w() const { return noise_w_; }
   int active_bursts() const;
   int pending_requests() const;
 
  private:
+  /// One interference domain: a (cell, carrier) pair.  With one carrier
+  /// this degenerates to one station per cell; with C carriers each cell
+  /// runs C independent power amplifiers and rise budgets, and only
+  /// same-carrier users interact.
   struct BaseStation {
     double forward_w = 0.0;       // current frame total TX power
     double prev_forward_w = 0.0;  // last frame (interference background)
@@ -82,6 +92,8 @@ class Simulator {
     bool is_data = false;
     bool forward_dir = true;  // data users: burst direction
     double priority = 0.0;    // Delta_j
+    int carrier = 0;          // frequency assignment (round-robin)
+    std::size_t home_cell = 0;
 
     std::unique_ptr<cell::MobilityModel> mobility;
     std::vector<channel::Link> links;  // one per cell
@@ -125,10 +137,18 @@ class Simulator {
   void step_reverse_measurements();
   void step_power_control();
   void step_traffic();
-  void run_admission(mac::LinkDirection direction);
+  /// One scheduling round for one direction on one carrier: only
+  /// same-carrier users share power/rise budgets.
+  void run_admission(mac::LinkDirection direction, int carrier);
   void step_transmission();
   void update_transmit_powers();
   void collect_frame_metrics();
+
+  /// Index of the (cell, carrier) interference domain in stations_.
+  std::size_t station_index(std::size_t cell, int carrier) const {
+    return cell * static_cast<std::size_t>(config_.placement.carriers) +
+           static_cast<std::size_t>(carrier);
+  }
 
   bool in_warmup() const { return now_s_ < config_.warmup_s; }
   double sch_mean_csi(const User& u) const;

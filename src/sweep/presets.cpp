@@ -1,6 +1,7 @@
 #include "src/sweep/presets.hpp"
 
 #include "src/common/assert.hpp"
+#include "src/scenario/scenario.hpp"
 
 namespace wcdma::sweep {
 
@@ -106,6 +107,54 @@ SweepSpec degraded_channel() {
   return spec;
 }
 
+// --- Multi-cell scenario presets (src/scenario layouts) ------------------
+
+/// Uniformly loaded 7-cell grid: schedulers x overall load scale.
+SweepSpec uniform_hex7() {
+  SweepSpec spec;
+  spec.name = "uniform-hex7";
+  spec.base = scenario::uniform_hex7().to_config();
+  spec.axes = {axis_scheduler(kCoreSchedulers), axis_load_scale({0.75, 1.0, 1.25})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// 19-cell hotspot-centre layout: schedulers x data load in the hotspot.
+SweepSpec hotspot_center() {
+  SweepSpec spec;
+  spec.name = "hotspot-center";
+  spec.base = scenario::hotspot_center().to_config();
+  spec.axes = {axis_scheduler(kCoreSchedulers), axis_data_users({16, 24, 32})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// Vehicular corridor through a 19-cell grid: speed x schedulers.
+SweepSpec highway_corridor() {
+  SweepSpec spec;
+  spec.name = "highway-corridor";
+  spec.base = scenario::highway_corridor().to_config();
+  spec.axes = {axis_max_speed_kmh({60.0, 90.0, 120.0}),
+               axis_scheduler({SchedulerKind::kJabaSd, SchedulerKind::kFcfs})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// Data-heavy enterprise mix: carrier count x admission objective.
+SweepSpec enterprise_data() {
+  SweepSpec spec;
+  spec.name = "enterprise-data";
+  spec.base = scenario::enterprise_data().to_config();
+  spec.axes = {axis_carriers({1, 2}),
+               axis_objective({ObjectiveKind::kJ1MaxRate, ObjectiveKind::kJ2DelayAware})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
 /// Tiny 2-scenario grid for CI smoke runs and engine tests.
 SweepSpec smoke() {
   SweepSpec spec;
@@ -139,6 +188,13 @@ const PresetEntry kPresets[] = {
     {"data-heavy", "download-dominated mix, data load x objective", data_heavy},
     {"degraded-channel", "steep path loss, shadowing x adaptive-vs-fixed PHY",
      degraded_channel},
+    {"uniform-hex7", "uniform 7-cell grid, schedulers x load scale", uniform_hex7},
+    {"hotspot-center", "19-cell hotspot centre, schedulers x data load",
+     hotspot_center},
+    {"highway-corridor", "vehicular corridor cells, speed x schedulers",
+     highway_corridor},
+    {"enterprise-data", "data-heavy enterprise mix, carriers x objective",
+     enterprise_data},
     {"smoke", "tiny 2-scenario grid for CI smoke runs", smoke},
 };
 

@@ -1,8 +1,10 @@
 // Scenario-preset registry: named, ready-to-run SweepSpecs covering the
 // paper's evaluation settings plus the scenario diversity the roadmap asks
 // for (hotspot load, vehicular mobility, data-heavy traffic, degraded
-// channels).  Benches and the sweep CLI both draw from here so experiment
-// definitions live in exactly one place.
+// channels), including the multi-cell, multi-carrier topologies built by
+// src/scenario (uniform-hex7, hotspot-center, highway-corridor,
+// enterprise-data).  Benches and the sweep CLI both draw from here so
+// experiment definitions live in exactly one place.
 #pragma once
 
 #include <string>

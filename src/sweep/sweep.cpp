@@ -1,5 +1,6 @@
 #include "src/sweep/sweep.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <mutex>
 
@@ -90,6 +91,66 @@ Axis axis_fixed_mode(const std::vector<int>& modes) {
   for (int m : modes) {
     axis.values.push_back({m == 0 ? std::string("adaptive") : "m" + format_int(m),
                            [m](sim::SystemConfig& cfg) { cfg.phy.fixed_mode = m; }});
+  }
+  return axis;
+}
+
+Axis axis_load_scale(const std::vector<double>& scales) {
+  Axis axis{"load_scale", {}};
+  for (double s : scales) {
+    axis.values.push_back({common::format_double(s, 4), [s](sim::SystemConfig& cfg) {
+                             cfg.voice.users = static_cast<int>(std::lround(cfg.voice.users * s));
+                             cfg.data.users = static_cast<int>(std::lround(cfg.data.users * s));
+                           }});
+  }
+  return axis;
+}
+
+Axis axis_carriers(const std::vector<int>& counts) {
+  Axis axis{"carriers", {}};
+  for (int c : counts) {
+    axis.values.push_back(
+        {format_int(c), [c](sim::SystemConfig& cfg) { cfg.placement.carriers = c; }});
+  }
+  return axis;
+}
+
+Axis axis_feedback_delay_frames(const std::vector<std::size_t>& frames) {
+  Axis axis{"feedback_delay", {}};
+  for (std::size_t f : frames) {
+    axis.values.push_back({std::to_string(f) + "f", [f](sim::SystemConfig& cfg) {
+                             cfg.phy.feedback_delay_frames = f;
+                           }});
+  }
+  return axis;
+}
+
+Axis axis_kappa_margin_db(const std::vector<double>& margins) {
+  Axis axis{"kappa_db", {}};
+  for (double k : margins) {
+    axis.values.push_back({common::format_double(k, 4), [k](sim::SystemConfig& cfg) {
+                             cfg.admission.kappa_margin_db = k;
+                           }});
+  }
+  return axis;
+}
+
+Axis axis_scrm_retry_s(const std::vector<double>& retries) {
+  Axis axis{"scrm_retry_s", {}};
+  for (double r : retries) {
+    axis.values.push_back({common::format_double(r, 4), [r](sim::SystemConfig& cfg) {
+                             cfg.admission.scrm_retry_s = r;
+                           }});
+  }
+  return axis;
+}
+
+Axis axis_reduced_set(const std::vector<std::size_t>& sizes) {
+  Axis axis{"reduced_set", {}};
+  for (std::size_t n : sizes) {
+    axis.values.push_back({std::to_string(n) + "legs", [n](sim::SystemConfig& cfg) {
+                             cfg.active_set.reduced_size = n;
+                           }});
   }
   return axis;
 }

@@ -46,6 +46,18 @@ Axis axis_scheduler(const std::vector<admission::SchedulerKind>& kinds);
 Axis axis_objective(const std::vector<admission::ObjectiveKind>& kinds);
 /// 0 = adaptive VTAOC, 1..6 = fixed-rate ablation at that mode.
 Axis axis_fixed_mode(const std::vector<int>& modes);
+/// Multiplies the base voice AND data populations (rounded).
+Axis axis_load_scale(const std::vector<double>& scales);
+/// Independent WCDMA carriers per cell (placement.carriers).
+Axis axis_carriers(const std::vector<int>& counts);
+/// CSI feedback delay of the adaptive PHY, in frames.
+Axis axis_feedback_delay_frames(const std::vector<std::size_t>& frames);
+/// Reverse-link neighbour-projection shadowing margin kappa (Eq. 15).
+Axis axis_kappa_margin_db(const std::vector<double>& margins);
+/// SCRM persistence: seconds a rejected request stays out of scheduling.
+Axis axis_scrm_retry_s(const std::vector<double>& retries);
+/// Reduced active-set size (SCH legs per burst, footnote 4).
+Axis axis_reduced_set(const std::vector<std::size_t>& sizes);
 
 /// One fully-expanded grid point.
 struct Scenario {

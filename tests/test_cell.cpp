@@ -152,6 +152,38 @@ TEST(RandomWaypoint, PauseHaltsMotion) {
   EXPECT_DOUBLE_EQ(before.x, rw.position().x);
 }
 
+TEST(RandomWaypoint, StaysInOffCentreRegion) {
+  MobilityConfig cfg;
+  cfg.region_radius_m = 400.0;
+  cfg.region_center = {5000.0, -2000.0};  // home-cell disc far from the origin
+  RandomWaypoint rw(cfg, Rng(29));
+  for (int i = 0; i < 5000; ++i) {
+    rw.step(0.5);
+    EXPECT_LE(norm(rw.position() - cfg.region_center), cfg.region_radius_m + 1e-6);
+  }
+}
+
+TEST(RandomWalk, StaysInOffCentreRegion) {
+  MobilityConfig cfg;
+  cfg.region_radius_m = 300.0;
+  cfg.region_center = {-1500.0, 900.0};
+  RandomWalk walk(cfg, Rng(31));
+  for (int i = 0; i < 5000; ++i) {
+    walk.step(0.5);
+    EXPECT_LE(norm(walk.position() - cfg.region_center), cfg.region_radius_m + 1e-6);
+  }
+}
+
+TEST(HexLayout, CellCountFormula) {
+  EXPECT_EQ(hex_cell_count(0), 1u);
+  EXPECT_EQ(hex_cell_count(1), 7u);
+  EXPECT_EQ(hex_cell_count(2), 19u);
+  for (int rings : {0, 1, 2, 3, 4}) {
+    EXPECT_EQ(HexLayout(HexLayoutConfig{rings, 1000.0, true}).num_cells(),
+              hex_cell_count(rings));
+  }
+}
+
 TEST(RandomWalk, StaysInRegion) {
   MobilityConfig cfg;
   cfg.region_radius_m = 800.0;

@@ -1,0 +1,222 @@
+// Scenario-subsystem tests: layout registry and weight builders, grid
+// expansion of the multi-cell presets, per-cell load scaling and carrier
+// assignment observed through the simulator, and the determinism contract
+// for a migrated bench (bit-identical merged metrics across 1/N threads).
+#include <gtest/gtest.h>
+
+#include "src/scenario/experiments.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sweep/presets.hpp"
+
+namespace wcdma::scenario {
+namespace {
+
+TEST(ScenarioRegistry, AllLayoutsBuildValidConfigs) {
+  const std::vector<std::string> names = layout_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    EXPECT_TRUE(has_layout(name));
+    const ScenarioLayout layout = make_layout(name);
+    EXPECT_EQ(layout.name, name);
+    EXPECT_FALSE(layout.description.empty());
+    const sim::SystemConfig cfg = layout.to_config();  // validates internally
+    EXPECT_EQ(cfg.placement.cell_weights.size(), cell::hex_cell_count(cfg.layout.rings));
+    EXPECT_GT(cfg.sim_duration_s, cfg.warmup_s);
+  }
+  EXPECT_FALSE(has_layout("no-such-layout"));
+}
+
+TEST(ScenarioWeights, UniformHotspotAndCorridorShapes) {
+  EXPECT_EQ(uniform_weights(1).size(), 7u);
+  EXPECT_EQ(uniform_weights(2).size(), 19u);
+
+  const std::vector<double> hot = hotspot_weights(2, 8.0);
+  ASSERT_EQ(hot.size(), 19u);
+  EXPECT_DOUBLE_EQ(hot[0], 8.0);
+  // Ring 1 (cells 1..6) sits between the centre and ring 2 (cells 7..18).
+  EXPECT_GT(hot[0], hot[1]);
+  EXPECT_GT(hot[1], hot[7]);
+  EXPECT_DOUBLE_EQ(hot[7], 1.0);
+
+  // The 19-cell layout has exactly 5 cells on the row through the origin.
+  cell::HexLayoutConfig layout;
+  layout.rings = 2;
+  const std::vector<double> corridor =
+      corridor_weights(layout, 0.5 * layout.cell_radius_m);
+  double mass = 0.0;
+  for (double w : corridor) mass += w;
+  EXPECT_DOUBLE_EQ(mass, 5.0);
+  EXPECT_DOUBLE_EQ(corridor[0], 1.0);  // centre cell is on the corridor
+}
+
+TEST(PerCellPlacement, AllMassOnOneCellConfinesEveryUser) {
+  ScenarioLayout layout = uniform_hex7();
+  layout.voice_users = 10;
+  layout.data_users = 5;
+  layout.sim_duration_s = 2.0;
+  layout.warmup_s = 0.5;
+  sim::SystemConfig cfg = layout.to_config();
+  std::fill(cfg.placement.cell_weights.begin(), cfg.placement.cell_weights.end(), 0.0);
+  cfg.placement.cell_weights[3] = 1.0;
+
+  sim::Simulator simulator(cfg);
+  const cell::HexLayout hex(cfg.layout);
+  const double home_r = cfg.placement.home_radius_scale * hex.cell_radius_m();
+  for (std::size_t i = 0; i < simulator.num_users(); ++i) {
+    EXPECT_EQ(simulator.user_home_cell(i), 3u);
+    EXPECT_LE(cell::distance(simulator.user_position(i), hex.center(3)),
+              home_r + 1e-9);
+  }
+  // Users stay confined while the simulation runs.
+  for (int f = 0; f < 50; ++f) simulator.step_frame();
+  for (std::size_t i = 0; i < simulator.num_users(); ++i) {
+    EXPECT_LE(cell::distance(simulator.user_position(i), hex.center(3)),
+              home_r + 1e-9);
+  }
+}
+
+TEST(PerCellPlacement, WeightsSteerTheLoadDistribution) {
+  ScenarioLayout layout = hotspot_center();
+  layout.voice_users = 120;
+  layout.data_users = 0;
+  layout.sim_duration_s = 2.0;
+  layout.warmup_s = 0.5;
+  const sim::SystemConfig cfg = layout.to_config();
+  sim::Simulator simulator(cfg);
+
+  std::size_t in_center = 0;
+  for (std::size_t i = 0; i < simulator.num_users(); ++i) {
+    in_center += simulator.user_home_cell(i) == 0 ? 1 : 0;
+  }
+  // The centre holds weight 8 of ~32 total: far above uniform 1/19, and
+  // far below all of it.
+  EXPECT_GT(in_center, simulator.num_users() / 10);
+  EXPECT_LT(in_center, simulator.num_users() / 2);
+}
+
+TEST(Carriers, RoundRobinAssignmentAndIndependentDomains) {
+  ScenarioLayout layout = enterprise_data();
+  layout.voice_users = 6;
+  layout.data_users = 6;
+  layout.sim_duration_s = 3.0;
+  layout.warmup_s = 0.5;
+  const sim::SystemConfig cfg = layout.to_config();
+  ASSERT_EQ(cfg.placement.carriers, 2);
+
+  sim::Simulator simulator(cfg);
+  EXPECT_EQ(simulator.num_carriers(), 2);
+  for (std::size_t i = 0; i < simulator.num_users(); ++i) {
+    EXPECT_EQ(simulator.user_carrier(i), static_cast<int>(i % 2));
+  }
+  const sim::SimMetrics m = simulator.run();
+  EXPECT_GT(m.data_bits_delivered, 0.0);
+  // Both carriers carry load: at least the idle floor, at most the PA cap,
+  // on every (cell, carrier) domain.
+  const double idle_w = cfg.radio.pilot_power_w + cfg.radio.common_power_w;
+  for (std::size_t k = 0; k < simulator.num_cells(); ++k) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_GE(simulator.forward_power_w(k, c), idle_w - 1e-9);
+      EXPECT_LE(simulator.forward_power_w(k, c), cfg.radio.bs_max_power_w + 1e-9);
+      EXPECT_GE(simulator.reverse_interference_w(k, c), simulator.thermal_noise_w());
+    }
+  }
+}
+
+TEST(MultiCellPresets, RegisteredAndGridsExpand) {
+  for (const char* name :
+       {"uniform-hex7", "hotspot-center", "highway-corridor", "enterprise-data"}) {
+    SCOPED_TRACE(name);
+    ASSERT_TRUE(sweep::has_preset(name));
+    const sweep::SweepSpec spec = sweep::make_preset(name);
+    std::size_t product = 1;
+    for (const sweep::Axis& axis : spec.axes) product *= axis.values.size();
+    EXPECT_EQ(spec.scenario_count(), product);
+    EXPECT_GE(spec.scenario_count(), 4u);
+    // Every grid point expands to a config the simulator accepts, and
+    // keeps the multi-cell placement.
+    for (std::size_t i = 0; i < spec.scenario_count(); ++i) {
+      const sim::SystemConfig cfg = spec.scenario(i).config;
+      cfg.validate();
+      EXPECT_FALSE(cfg.placement.cell_weights.empty());
+    }
+  }
+  // enterprise-data sweeps the carrier count itself.
+  const sweep::SweepSpec enterprise = sweep::make_preset("enterprise-data");
+  EXPECT_EQ(enterprise.scenario(0).config.placement.carriers, 1);
+  EXPECT_EQ(enterprise.scenario(enterprise.scenario_count() - 1).config.placement.carriers,
+            2);
+}
+
+TEST(MigratedBenches, SpecsAreWellFormed) {
+  for (const sweep::SweepSpec& spec : {e4_delay_fl(), e5_delay_rl(), e8_synergy(),
+                                       e10_objectives(), e11_mac_states()}) {
+    SCOPED_TRACE(spec.name);
+    spec.validate();
+    EXPECT_TRUE(spec.common_random_numbers);  // paired comparisons
+    EXPECT_GE(spec.scenario_count(), 4u);
+  }
+  const std::vector<sweep::SweepSpec> ablations = e12_ablations();
+  ASSERT_EQ(ablations.size(), 4u);
+  for (const sweep::SweepSpec& spec : ablations) {
+    SCOPED_TRACE(spec.name);
+    spec.validate();
+    EXPECT_EQ(spec.axes.size(), 1u);
+    EXPECT_TRUE(spec.common_random_numbers);
+  }
+}
+
+TEST(MigratedBenches, E5MergedMetricsAreThreadCountInvariant) {
+  // The migrated reverse-link bench, shrunk to test size: same base config
+  // and axis kinds, fewer values and a short horizon.
+  sweep::SweepSpec spec = e5_delay_rl();
+  spec.base.voice.users = 6;
+  spec.base.sim_duration_s = 4.0;
+  spec.base.warmup_s = 1.0;
+  spec.axes = {sweep::axis_data_users({2, 4}),
+               sweep::axis_scheduler({admission::SchedulerKind::kJabaSd,
+                                      admission::SchedulerKind::kFcfs})};
+  spec.replications = 2;
+
+  const sweep::SweepResult inline_run = sweep::run_sweep(spec, 0);
+  const sweep::SweepResult serial = sweep::run_sweep(spec, 1);
+  const sweep::SweepResult parallel = sweep::run_sweep(spec, 4);
+  ASSERT_EQ(inline_run.scenarios.size(), spec.scenario_count());
+  for (std::size_t s = 0; s < inline_run.scenarios.size(); ++s) {
+    SCOPED_TRACE(s);
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(inline_run.scenarios[s].merged.mean_delay_s(),
+              parallel.scenarios[s].merged.mean_delay_s());
+    EXPECT_EQ(inline_run.scenarios[s].merged.data_bits_delivered,
+              parallel.scenarios[s].merged.data_bits_delivered);
+    EXPECT_EQ(serial.scenarios[s].merged.grants, parallel.scenarios[s].merged.grants);
+  }
+  EXPECT_EQ(sweep::to_csv(inline_run), sweep::to_csv(parallel));
+  EXPECT_EQ(sweep::to_csv(serial), sweep::to_csv(parallel));
+}
+
+TEST(MultiCellSweep, ThreadCountInvarianceWithPlacementAndCarriers) {
+  // The determinism contract must survive the new placement and carrier
+  // machinery: shrink uniform-hex7 and sweep the carrier count.
+  ScenarioLayout layout = uniform_hex7();
+  layout.voice_users = 8;
+  layout.data_users = 4;
+  layout.sim_duration_s = 3.0;
+  layout.warmup_s = 0.5;
+
+  sweep::SweepSpec spec;
+  spec.name = "tiny-multicell";
+  spec.base = layout.to_config();
+  spec.axes = {sweep::axis_carriers({1, 2}), sweep::axis_load_scale({1.0, 1.5})};
+  spec.replications = 2;
+  spec.validate();
+
+  const sweep::SweepResult a = sweep::run_sweep(spec, 0);
+  const sweep::SweepResult b = sweep::run_sweep(spec, 3);
+  EXPECT_EQ(sweep::to_csv(a), sweep::to_csv(b));
+  EXPECT_EQ(sweep::to_json(a), sweep::to_json(b));
+}
+
+}  // namespace
+}  // namespace wcdma::scenario

@@ -69,6 +69,28 @@ TEST(SweepSpec, AxesApplyTheirKnobs) {
   EXPECT_EQ(s.labels[4], "m3");
 }
 
+TEST(SweepSpec, ScenarioAndAblationAxesApply) {
+  SweepSpec spec;
+  spec.base = sim::default_config();
+  spec.base.voice.users = 10;
+  spec.base.data.users = 4;
+  spec.axes = {axis_load_scale({1.5}), axis_carriers({2}),
+               axis_feedback_delay_frames({4}), axis_kappa_margin_db({6.0}),
+               axis_scrm_retry_s({1.0}), axis_reduced_set({1})};
+  const Scenario s = spec.scenario(0);
+  EXPECT_EQ(s.config.voice.users, 15);
+  EXPECT_EQ(s.config.data.users, 6);
+  EXPECT_EQ(s.config.placement.carriers, 2);
+  EXPECT_EQ(s.config.phy.feedback_delay_frames, 4u);
+  EXPECT_DOUBLE_EQ(s.config.admission.kappa_margin_db, 6.0);
+  EXPECT_DOUBLE_EQ(s.config.admission.scrm_retry_s, 1.0);
+  EXPECT_EQ(s.config.active_set.reduced_size, 1u);
+  EXPECT_EQ(s.labels[0], "1.5");
+  EXPECT_EQ(s.labels[1], "2");
+  EXPECT_EQ(s.labels[2], "4f");
+  EXPECT_EQ(s.labels[5], "1legs");
+}
+
 TEST(SweepSpec, ItemSeedsAreDistinctAndStable) {
   std::set<std::uint64_t> seeds;
   for (std::size_t sc = 0; sc < 16; ++sc) {

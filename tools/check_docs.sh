@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Docs consistency checker, run by the CI docs job and usable locally:
+#
+#   tools/check_docs.sh [path/to/sweep_main]
+#
+# 1. Every relative markdown link in README.md and docs/*.md must resolve
+#    to a file in the repository.
+# 2. Every preset registered in the sweep CLI must appear in the README
+#    preset table (pass the sweep_main binary as $1; skipped otherwise).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. relative links resolve -------------------------------------------
+for doc in README.md docs/*.md; do
+  # Extract markdown link targets; keep only relative file links.
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    local_path="${target%%#*}"  # strip fragment
+    [ -z "$local_path" ] && continue
+    # Relative links resolve against the containing document's directory.
+    case "$local_path" in
+      /*) resolved="$local_path" ;;
+      *) resolved="$(dirname "$doc")/$local_path" ;;
+    esac
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\((.*)\)$/\1/')
+done
+
+# --- 2. every registered preset is documented in the README --------------
+if [ "$#" -ge 1 ]; then
+  sweep_main="$1"
+  if [ ! -x "$sweep_main" ]; then
+    echo "sweep_main binary not executable: $sweep_main"
+    exit 1
+  fi
+  while IFS= read -r preset; do
+    [ -z "$preset" ] && continue
+    if ! grep -q "\`$preset\`" README.md; then
+      echo "UNDOCUMENTED PRESET: $preset missing from the README preset table"
+      fail=1
+    fi
+  done < <("$sweep_main" --list-presets | awk '{print $1}')
+else
+  echo "note: no sweep_main binary given; skipping preset-table check"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK"

@@ -26,6 +26,7 @@ void print_usage() {
       "  --threads N           worker threads (0 = inline; default: hardware)\n"
       "  --seed N              override the master seed\n"
       "  --duration S          override per-scenario sim duration (seconds)\n"
+      "  --warmup S            override per-scenario warmup (seconds)\n"
       "  --format csv|json|table   output format (default: csv)\n"
       "  --output FILE         write results to FILE instead of stdout\n"
       "  --progress            report per-item progress on stderr\n");
@@ -60,8 +61,9 @@ int main(int argc, char** argv) {
   std::size_t threads = common::default_thread_count();
   bool want_progress = false;
   bool have_replications = false, have_seed = false, have_duration = false;
+  bool have_warmup = false;
   std::size_t replications = 0, seed = 0;
-  double duration_s = 0.0;
+  double duration_s = 0.0, warmup_s = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +114,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "sweep_main: bad --duration value\n");
         return 2;
       }
+    } else if (arg == "--warmup") {
+      const char* text = next_value();
+      char* end = nullptr;
+      warmup_s = std::strtod(text, &end);
+      have_warmup = end != text && *end == '\0' && std::isfinite(warmup_s) && warmup_s >= 0.0;
+      if (!have_warmup) {
+        std::fprintf(stderr, "sweep_main: bad --warmup value\n");
+        return 2;
+      }
     } else if (arg == "--progress") {
       want_progress = true;
     } else {
@@ -135,6 +146,11 @@ int main(int argc, char** argv) {
   if (have_replications) spec.replications = replications;
   if (have_seed) spec.base.seed = seed;
   if (have_duration) spec.base.sim_duration_s = duration_s;
+  if (have_warmup) spec.base.warmup_s = warmup_s;
+  if (spec.base.warmup_s >= spec.base.sim_duration_s) {
+    std::fprintf(stderr, "sweep_main: warmup must be shorter than the duration\n");
+    return 2;
+  }
 
   sweep::ProgressFn progress;
   if (want_progress) {

@@ -77,6 +77,75 @@ void ActiveSet::update(const std::vector<double>& pilot_ec_io_db, double dt) {
   initialised_ = true;
 }
 
+void ActiveSet::update_sparse(const std::vector<std::pair<std::size_t, double>>& pilots,
+                              double floor_db, double dt) {
+  // The implicit floor must sit below the drop threshold, or unreported
+  // cells could not be treated as absent.
+  WCDMA_ASSERT(floor_db < config_.t_drop_db);
+  for (const auto& [cell, db] : pilots) {
+    WCDMA_ASSERT(cell < last_pilot_db_.size());
+    last_pilot_db_[cell] = db;
+  }
+
+  // Drop phase: members are always among the reported cells (the culled
+  // provider keeps active-set members candidates until hand-off drops
+  // them), so their slots in last_pilot_db_ are fresh.
+  std::vector<std::size_t> kept;
+  kept.reserve(members_.size());
+  for (std::size_t cell : members_) {
+    if (last_pilot_db_[cell] < config_.t_drop_db) {
+      below_drop_s_[cell] += dt;
+      if (below_drop_s_[cell] >= config_.drop_timer_s) {
+        below_drop_s_[cell] = 0.0;
+        continue;  // dropped
+      }
+    } else {
+      below_drop_s_[cell] = 0.0;
+    }
+    kept.push_back(cell);
+  }
+  members_ = std::move(kept);
+
+  // Add phase over the reported cells only: unreported cells sit at the
+  // floor, below T_ADD by construction.
+  std::vector<std::size_t> candidates;
+  for (const auto& [cell, db] : pilots) {
+    if (db >= config_.t_add_db && !contains(cell)) candidates.push_back(cell);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
+    return last_pilot_db_[a] > last_pilot_db_[b];
+  });
+  for (std::size_t cell : candidates) {
+    if (members_.size() >= config_.max_size) {
+      auto weakest = std::min_element(
+          members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
+            return last_pilot_db_[a] < last_pilot_db_[b];
+          });
+      if (last_pilot_db_[cell] > last_pilot_db_[*weakest]) {
+        *weakest = cell;
+      }
+      continue;
+    }
+    members_.push_back(cell);
+  }
+
+  // Never run empty: latch onto the strongest reported pilot (all real
+  // measurements beat the implicit floor).
+  if (members_.empty() && !pilots.empty()) {
+    std::size_t best = pilots.front().first;
+    for (const auto& [cell, db] : pilots) {
+      if (db > last_pilot_db_[best]) best = cell;
+    }
+    members_.push_back(best);
+  }
+  WCDMA_ASSERT(!members_.empty());
+
+  std::sort(members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
+    return last_pilot_db_[a] > last_pilot_db_[b];
+  });
+  initialised_ = true;
+}
+
 std::size_t ActiveSet::primary() const {
   WCDMA_ASSERT(initialised_ && !members_.empty());
   return members_.front();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace wcdma::cell {
@@ -28,6 +29,15 @@ class ActiveSet {
   /// One update per frame with the current per-cell pilot Ec/Io (dB).
   /// `dt` is the frame duration (drives the drop timers).
   void update(const std::vector<double>& pilot_ec_io_db, double dt);
+
+  /// Sparse per-frame update for culled channel state: only `pilots`
+  /// (cell, Ec/Io dB) carry real measurements; every unreported cell is
+  /// implicitly at `floor_db` (far below t_drop, so it can never join).
+  /// Current members must be among the reported cells.  Behaviourally
+  /// identical to update() on a dense vector filled with `floor_db`, but
+  /// O(reported) instead of O(cells).
+  void update_sparse(const std::vector<std::pair<std::size_t, double>>& pilots,
+                     double floor_db, double dt);
 
   /// Cells currently in the FCH active set (sorted by descending pilot).
   const std::vector<std::size_t>& members() const { return members_; }

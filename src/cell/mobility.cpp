@@ -100,4 +100,44 @@ double RandomWalk::step(double dt) {
   return moved;
 }
 
+CorridorMobility::CorridorMobility(const MobilityConfig& config, common::Rng rng)
+    : config_(config), rng_(rng) {
+  WCDMA_ASSERT(config_.max_speed_mps >= config_.min_speed_mps);
+  WCDMA_ASSERT(config_.min_speed_mps > 0.0);
+  half_length_m_ = config_.corridor_half_length_m > 0.0
+                       ? config_.corridor_half_length_m
+                       : config_.region_radius_m;
+  WCDMA_ASSERT(half_length_m_ > 0.0);
+  pos_.x = rng_.uniform(-half_length_m_, half_length_m_);
+  pos_.y = rng_.uniform(-config_.corridor_half_width_m, config_.corridor_half_width_m);
+  dir_ = rng_.uniform() < 0.5 ? 1 : -1;
+  speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+}
+
+double CorridorMobility::step(double dt) {
+  const double moved = speed_ * dt;
+  pos_.x += dir_ * moved;
+  // Wrap around the segment ends; a wrapping vehicle re-enters at the far
+  // end with a fresh cruise speed (and keeps its lane and direction).
+  if (pos_.x > half_length_m_) {
+    pos_.x -= 2.0 * half_length_m_;
+    speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+  } else if (pos_.x < -half_length_m_) {
+    pos_.x += 2.0 * half_length_m_;
+    speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+  }
+  return moved;
+}
+
+std::unique_ptr<MobilityModel> make_mobility(const MobilityConfig& config,
+                                             common::Rng rng) {
+  switch (config.kind) {
+    case MobilityKind::kCorridor:
+      return std::make_unique<CorridorMobility>(config, rng);
+    case MobilityKind::kRandomWaypoint:
+      break;
+  }
+  return std::make_unique<RandomWaypoint>(config, rng);
+}
+
 }  // namespace wcdma::cell

@@ -1,15 +1,23 @@
 // User mobility models (the paper's dynamic simulation "takes into account
 // of the user mobility").  Random-waypoint is the primary model; a simple
-// direction-persistence random walk is provided for ablations.  Both stay
-// inside a circular service region by reflecting at the boundary.
+// direction-persistence random walk is provided for ablations; corridor
+// mobility drives users along a road segment (directional motion with
+// wrap-around at the ends).  Disc-bounded models stay inside a circular
+// service region by reflecting at the boundary.
 #pragma once
+
+#include <memory>
 
 #include "src/cell/geometry.hpp"
 #include "src/common/rng.hpp"
 
 namespace wcdma::cell {
 
+/// Which model the simulator builds for each user.
+enum class MobilityKind { kRandomWaypoint, kCorridor };
+
 struct MobilityConfig {
+  MobilityKind kind = MobilityKind::kRandomWaypoint;
   double min_speed_mps = 0.3;   // ~1 km/h pedestrian
   double max_speed_mps = 16.7;  // ~60 km/h vehicular
   double pause_s = 0.0;         // random-waypoint pause at each waypoint
@@ -19,6 +27,11 @@ struct MobilityConfig {
   Point region_center{};
   // Random-walk only: mean time between direction changes.
   double direction_hold_s = 10.0;
+  // Corridor only: the road is the segment |x| <= half_length on the x-axis
+  // (the row of cells through the origin), with lanes spread over
+  // |y| <= half_width.  half_length <= 0 derives from region_radius_m.
+  double corridor_half_length_m = 0.0;
+  double corridor_half_width_m = 250.0;
 };
 
 class MobilityModel {
@@ -67,6 +80,29 @@ class RandomWalk final : public MobilityModel {
   double hold_left_ = 0.0;
 };
 
+/// Directional line-segment motion for highway corridors: each user draws a
+/// lane offset, a travel direction (+x or -x), and a cruise speed, then
+/// drives along the road and wraps around at the segment ends (matching the
+/// wrap-around cell layout, so the corridor load is stationary in time).
+/// Speed is redrawn at each wrap (a fresh "vehicle" enters the road).
+class CorridorMobility final : public MobilityModel {
+ public:
+  CorridorMobility(const MobilityConfig& config, common::Rng rng);
+
+  double step(double dt) override;
+  Point position() const override { return pos_; }
+  double speed_mps() const override { return speed_; }
+  int direction() const { return dir_; }
+
+ private:
+  MobilityConfig config_;
+  common::Rng rng_;
+  Point pos_;
+  double half_length_m_ = 0.0;
+  int dir_ = 1;  // +1 = towards +x, -1 = towards -x
+  double speed_ = 0.0;
+};
+
 /// Stationary user (for coverage sweeps that pin users at given radii).
 class FixedPosition final : public MobilityModel {
  public:
@@ -78,5 +114,11 @@ class FixedPosition final : public MobilityModel {
  private:
   Point pos_;
 };
+
+/// Builds the model selected by `config.kind` (the simulator's factory).
+/// The RNG is consumed exactly as the model's constructor always did, so
+/// the default (random-waypoint) path is stream-compatible with older code.
+std::unique_ptr<MobilityModel> make_mobility(const MobilityConfig& config,
+                                             common::Rng rng);
 
 }  // namespace wcdma::cell

@@ -12,6 +12,12 @@ sim::SystemConfig ScenarioLayout::to_config() const {
   cfg.placement = placement;
   cfg.mobility.min_speed_mps = min_speed_mps;
   cfg.mobility.max_speed_mps = max_speed_mps;
+  cfg.mobility.kind = mobility_kind;
+  if (mobility_kind == cell::MobilityKind::kCorridor) {
+    cfg.mobility.corridor_half_width_m = corridor_half_width_m;
+    // half_length stays 0: the simulator derives it from the service radius
+    // so the road spans the whole wrap-around layout.
+  }
   cfg.voice.users = voice_users;
   cfg.data.users = data_users;
   cfg.data.mean_reading_s = data_mean_reading_s;
@@ -92,6 +98,10 @@ ScenarioLayout highway_corridor() {
   // Half a cell radius of lateral spread keeps the load on the 5-cell row.
   s.placement.cell_weights = corridor_weights(s.layout, 0.5 * s.layout.cell_radius_m);
   s.placement.home_radius_scale = 1.5;  // long drives across cell borders
+  // Directional along-road motion with wrap-around, lanes matching the
+  // corridor weight band.
+  s.mobility_kind = cell::MobilityKind::kCorridor;
+  s.corridor_half_width_m = 0.5 * s.layout.cell_radius_m;
   s.min_speed_mps = 60.0 / 3.6;
   s.max_speed_mps = 120.0 / 3.6;
   s.voice_users = 40;

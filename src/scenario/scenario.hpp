@@ -32,6 +32,11 @@ struct ScenarioLayout {
   sim::PlacementConfig placement{};   // per-cell weights, home radius, carriers
   double min_speed_mps = 0.3;
   double max_speed_mps = 16.7;
+  /// Corridor layouts drive users along the road (directional line-segment
+  /// motion with wrap-around); everything else roams random-waypoint discs.
+  cell::MobilityKind mobility_kind = cell::MobilityKind::kRandomWaypoint;
+  /// Lateral lane spread of corridor motion (metres; corridor only).
+  double corridor_half_width_m = 0.0;
 
   int voice_users = 60;
   int data_users = 12;

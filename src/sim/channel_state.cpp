@@ -1,0 +1,170 @@
+#include "src/sim/channel_state.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::sim {
+
+namespace {
+
+/// Reference provider: every cell's link advances every frame.  This is the
+/// legacy frame loop verbatim, so the default configuration stays
+/// bit-identical across the seam.
+class ExhaustiveChannelProvider final : public ChannelStateProvider {
+ public:
+  void init(const cell::HexLayout* layout, std::size_t num_users) override {
+    (void)num_users;
+    WCDMA_ASSERT(layout != nullptr);
+    layout_ = layout;
+    all_cells_.resize(layout_->num_cells());
+    for (std::size_t k = 0; k < all_cells_.size(); ++k) all_cells_[k] = k;
+  }
+
+  void step_user(std::size_t user, const ChannelUserView& view,
+                 double frame_s) override {
+    (void)user;
+    const double moved = view.mobility->step(frame_s);
+    const cell::Point pos = view.mobility->position();
+    auto& links = *view.links;
+    for (std::size_t k = 0; k < links.size(); ++k) {
+      links[k].set_distance(layout_->distance_to_cell(pos, k));
+      links[k].step(moved, frame_s);
+      (*view.gain_mean)[k] = links[k].mean_gain();
+      (*view.gain_inst)[k] = links[k].instantaneous_gain();
+    }
+  }
+
+  const std::vector<std::size_t>& cells_for(std::size_t) const override {
+    return all_cells_;
+  }
+
+  std::string name() const override { return "exhaustive"; }
+
+ private:
+  const cell::HexLayout* layout_ = nullptr;
+  std::vector<std::size_t> all_cells_;
+};
+
+/// Neighbour-culling provider: each user maintains a candidate-cell set
+/// (active-set members plus cells within the pilot-floor radius), refreshed
+/// on a slow timer; only candidate links advance each frame.
+class CulledChannelProvider final : public ChannelStateProvider {
+ public:
+  explicit CulledChannelProvider(const CsiConfig& csi) : csi_(csi) {}
+
+  void init(const cell::HexLayout* layout, std::size_t num_users) override {
+    WCDMA_ASSERT(layout != nullptr);
+    layout_ = layout;
+    radius_m_ = csi_.cull_radius_scale * layout_->cell_radius_m();
+    candidates_.assign(num_users, {});
+    refresh_left_s_.assign(num_users, 0.0);
+  }
+
+  void step_user(std::size_t user, const ChannelUserView& view,
+                 double frame_s) override {
+    const double moved = view.mobility->step(frame_s);
+    const cell::Point pos = view.mobility->position();
+    refresh_left_s_[user] -= frame_s;
+    if (candidates_[user].empty() || refresh_left_s_[user] <= 0.0) {
+      refresh(user, pos, view);
+    }
+    auto& links = *view.links;
+    for (std::size_t k : candidates_[user]) {
+      links[k].set_distance(layout_->distance_to_cell(pos, k));
+      links[k].step(moved, frame_s);
+      (*view.gain_mean)[k] = links[k].mean_gain();
+      (*view.gain_inst)[k] = links[k].instantaneous_gain();
+    }
+  }
+
+  const std::vector<std::size_t>& cells_for(std::size_t user) const override {
+    return candidates_[user];
+  }
+
+  std::string name() const override { return "culled"; }
+
+ private:
+  void refresh(std::size_t user, cell::Point pos, const ChannelUserView& view) {
+    refresh_left_s_[user] = csi_.refresh_interval_s;
+    std::vector<std::size_t> next;
+    for (std::size_t k = 0; k < layout_->num_cells(); ++k) {
+      if (layout_->distance_to_cell(pos, k) <= radius_m_) next.push_back(k);
+    }
+    // Active-set members stay candidates until hand-off drops them, even
+    // when the user has moved past the radius (hysteresis consistency).
+    for (std::size_t k : view.active_set->members()) {
+      const auto it = std::lower_bound(next.begin(), next.end(), k);
+      if (it == next.end() || *it != k) next.insert(it, k);
+    }
+    if (next.empty()) next.push_back(layout_->nearest_cell(pos));
+    // Cells leaving the set must stop contributing to interference sums.
+    for (std::size_t k : candidates_[user]) {
+      if (!std::binary_search(next.begin(), next.end(), k)) {
+        (*view.gain_mean)[k] = 0.0;
+        (*view.gain_inst)[k] = 0.0;
+      }
+    }
+    candidates_[user] = std::move(next);
+  }
+
+  CsiConfig csi_;
+  const cell::HexLayout* layout_ = nullptr;
+  double radius_m_ = 0.0;
+  std::vector<std::vector<std::size_t>> candidates_;
+  std::vector<double> refresh_left_s_;
+};
+
+struct ProviderEntry {
+  const char* name;
+  const char* description;
+  std::unique_ptr<ChannelStateProvider> (*build)(const CsiConfig& csi);
+};
+
+std::unique_ptr<ChannelStateProvider> build_exhaustive(const CsiConfig&) {
+  return std::make_unique<ExhaustiveChannelProvider>();
+}
+
+std::unique_ptr<ChannelStateProvider> build_culled(const CsiConfig& csi) {
+  return std::make_unique<CulledChannelProvider>(csi);
+}
+
+const ProviderEntry kProviders[] = {
+    {"exhaustive", "every cell every frame (reference, bit-identical legacy path)",
+     build_exhaustive},
+    {"culled", "active set + pilot-floor radius candidates on a slow refresh timer",
+     build_culled},
+};
+
+const ProviderEntry* find_provider(const std::string& name) {
+  for (const ProviderEntry& entry : kProviders) {
+    if (name == entry.name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> channel_provider_names() {
+  std::vector<std::string> names;
+  for (const ProviderEntry& entry : kProviders) names.push_back(entry.name);
+  return names;
+}
+
+bool has_channel_provider(const std::string& name) {
+  return find_provider(name) != nullptr;
+}
+
+std::unique_ptr<ChannelStateProvider> make_channel_provider(const CsiConfig& csi) {
+  const ProviderEntry* entry = find_provider(csi.provider);
+  WCDMA_ASSERT(entry != nullptr && "unknown channel-state provider");
+  return entry->build(csi);
+}
+
+std::string channel_provider_description(const std::string& name) {
+  const ProviderEntry* entry = find_provider(name);
+  WCDMA_ASSERT(entry != nullptr && "unknown channel-state provider");
+  return entry->description;
+}
+
+}  // namespace wcdma::sim

@@ -1,0 +1,70 @@
+// Channel-state (CSI) providers: the gain/pilot/interference computation of
+// the frame loop extracted behind an interface.
+//
+// The legacy simulator recomputed full O(users x cells) link state every
+// frame -- the exact bottleneck on the path to million-user grids (each
+// link step evolves shadowing and fading state).  A ChannelStateProvider
+// owns (a) how one user's mobility and per-cell links advance each frame
+// and (b) WHICH cells have live link state for that user (the candidate
+// set), so the measurement loops downstream only touch candidate cells.
+//
+//  * ExhaustiveChannelProvider -- every cell, every frame; the reference
+//    implementation, bit-identical to the pre-seam simulator.
+//  * CulledChannelProvider -- per-user candidate set = active-set members
+//    plus cells within a pilot-floor radius of the user, refreshed on a
+//    slow timer; per-frame link state is O(users x nearby-cells).  Each
+//    link keeps its own RNG stream, so a candidate link's realisation is
+//    identical to the exhaustive provider's for as long as it stays in the
+//    set -- culling only drops far-cell contributions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cell/active_set.hpp"
+#include "src/cell/geometry.hpp"
+#include "src/cell/mobility.hpp"
+#include "src/channel/channel.hpp"
+#include "src/sim/config.hpp"
+
+namespace wcdma::sim {
+
+/// Narrow mutable view of one user's channel state inside the simulator.
+struct ChannelUserView {
+  cell::MobilityModel* mobility = nullptr;
+  std::vector<channel::Link>* links = nullptr;   // one per cell
+  std::vector<double>* gain_mean = nullptr;      // refreshed for candidate cells
+  std::vector<double>* gain_inst = nullptr;
+  const cell::ActiveSet* active_set = nullptr;   // read-only (candidate seeding)
+};
+
+class ChannelStateProvider {
+ public:
+  virtual ~ChannelStateProvider() = default;
+
+  /// Bound once by the simulator before the first frame.
+  virtual void init(const cell::HexLayout* layout, std::size_t num_users) = 0;
+
+  /// Advances `user`'s mobility and refreshes gain state for every cell in
+  /// cells_for(user).  Called once per user per frame, in user order.
+  virtual void step_user(std::size_t user, const ChannelUserView& view,
+                         double frame_s) = 0;
+
+  /// Cells with live link state for this user this frame, ascending.  The
+  /// measurement loops (forward interference, pilots, reverse rise) iterate
+  /// exactly this set; gains outside it are zero.
+  virtual const std::vector<std::size_t>& cells_for(std::size_t user) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// --- Registry: string-keyed factories --------------------------------------
+/// Registered provider names, in registry order ("exhaustive", "culled").
+std::vector<std::string> channel_provider_names();
+bool has_channel_provider(const std::string& name);
+/// Builds the provider named by `csi.provider`; aborts on unknown names.
+std::unique_ptr<ChannelStateProvider> make_channel_provider(const CsiConfig& csi);
+std::string channel_provider_description(const std::string& name);
+
+}  // namespace wcdma::sim

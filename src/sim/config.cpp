@@ -1,10 +1,20 @@
 #include "src/sim/config.hpp"
 
+#include "src/admission/policy.hpp"
 #include "src/common/assert.hpp"
+#include "src/sim/channel_state.hpp"
 
 namespace wcdma::sim {
 
 const SystemConfig& SystemConfig::validate() const {
+  if (!admission.policy.empty()) {
+    WCDMA_ASSERT(admission::has_policy(admission.policy) &&
+                 "unknown admission policy name");
+  }
+  WCDMA_ASSERT(has_channel_provider(csi.provider) &&
+               "unknown channel-state provider name");
+  WCDMA_ASSERT(csi.refresh_interval_s > 0.0);
+  WCDMA_ASSERT(csi.cull_radius_scale > 0.0);
   WCDMA_ASSERT(frame_s > 0.0);
   WCDMA_ASSERT(sim_duration_s > warmup_s);
   WCDMA_ASSERT(voice.users >= 0 && data.users >= 0);

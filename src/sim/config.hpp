@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/admission/objectives.hpp"
@@ -69,6 +70,11 @@ struct PhyScenario {
 };
 
 struct AdmissionScenario {
+  /// Admission policy by registry name (admission::policy_names()).  Empty
+  /// selects the legacy `scheduler` enum below via admission::policy_name();
+  /// non-empty wins over it.  Policies beyond the six schedulers (e.g.
+  /// "hand-down") are only reachable through this string.
+  std::string policy;
   admission::SchedulerKind scheduler = admission::SchedulerKind::kJabaSd;
   admission::ObjectiveKind objective = admission::ObjectiveKind::kJ2DelayAware;
   admission::DelayPenaltyConfig penalty{};
@@ -100,6 +106,20 @@ struct PlacementConfig {
   int carriers = 1;
 };
 
+/// Channel-state (CSI) computation backend: which cells get live link state
+/// each frame.  "exhaustive" is the bit-identical reference; "culled" keeps
+/// a per-user candidate-cell set (active set + pilot-floor radius) on a
+/// slow refresh timer so per-frame link state is O(users x nearby-cells).
+struct CsiConfig {
+  std::string provider = "exhaustive";  // sim::channel_provider_names()
+  /// Seconds between candidate-set rebuilds (culled provider only).
+  double refresh_interval_s = 0.5;
+  /// Candidate radius as a multiple of the cell radius: beyond it a pilot
+  /// sits under the active-set add floor and the cell is culled.  2.0 keeps
+  /// the serving cell and the full adjacent ring (spacing sqrt(3) R) live.
+  double cull_radius_scale = 2.0;
+};
+
 struct SystemConfig {
   std::uint64_t seed = 42;
   double frame_s = 0.020;
@@ -122,6 +142,7 @@ struct SystemConfig {
   PhyScenario phy{};
   AdmissionScenario admission{};
   mac::MacTimersConfig mac_timers{};
+  CsiConfig csi{};
 
   /// Aborts on invalid combinations; returns *this for chaining.
   const SystemConfig& validate() const;

@@ -25,6 +25,7 @@ void SimMetrics::merge(const SimMetrics& other) {
   requests_seen += other.requests_seen;
   grants += other.grants;
   reject_rounds += other.reject_rounds;
+  carrier_hand_downs += other.carrier_hand_downs;
   pending_queue_len.merge(other.pending_queue_len);
   forward_load_fraction.merge(other.forward_load_fraction);
   reverse_rise_db.merge(other.reverse_rise_db);

@@ -37,6 +37,9 @@ struct SimMetrics {
   std::int64_t requests_seen = 0;
   std::int64_t grants = 0;
   std::int64_t reject_rounds = 0;  // scheduling rounds that granted nothing
+  /// Grants served on a different carrier than the request arrived on
+  /// (inter-carrier hand-down policies only).
+  std::int64_t carrier_hand_downs = 0;
   common::StreamingMoments pending_queue_len;
 
   // Network load.

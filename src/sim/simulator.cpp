@@ -11,6 +11,17 @@ namespace wcdma::sim {
 namespace {
 
 constexpr double kTiny = 1e-30;
+// Pilot Ec/Io reported for cells outside a user's candidate set: far below
+// every hand-off threshold, so culled cells can never enter the active set.
+constexpr double kPilotFloorDb = -500.0;
+
+/// Registry name of the configured admission policy: the explicit string
+/// wins; the legacy SchedulerKind enum is the fallback.
+std::string resolved_policy_name(const SystemConfig& config) {
+  return config.admission.policy.empty()
+             ? admission::policy_name(config.admission.scheduler)
+             : config.admission.policy;
+}
 
 power::PowerControlConfig forward_pc_config(const RadioConfig& radio) {
   power::PowerControlConfig cfg;
@@ -37,7 +48,10 @@ Simulator::Simulator(const SystemConfig& config)
       spreading_(config.spreading),
       policy_(phy::make_vtaoc_modes(config.phy.vtaoc), config.phy.target_ber,
               config.phy.floor),
-      scheduler_(admission::make_scheduler(config.admission.scheduler, config.seed ^ 0x5cedu)),
+      admission_policy_name_(resolved_policy_name(config)),
+      admission_policy_(
+          admission::make_policy(admission_policy_name_, config.seed ^ 0x5cedu)),
+      csi_(make_channel_provider(config.csi)),
       rng_(config.seed) {
   config_.validate();
 
@@ -103,7 +117,10 @@ Simulator::Simulator(const SystemConfig& config)
           config_.placement.home_radius_scale * layout_.cell_radius_m();
     }
 
-    u.mobility = std::make_unique<cell::RandomWaypoint>(user_mob, user_rng.fork(1));
+    // Corridor mobility spans the whole road regardless of the home cell;
+    // disc-bounded models roam the (possibly per-home-cell) region.
+    u.mobility = cell::make_mobility(
+        mob.kind == cell::MobilityKind::kCorridor ? mob : user_mob, user_rng.fork(1));
     const double speed = u.mobility->speed_mps();
     link_cfg.doppler_hz = common::doppler_hz(std::max(speed, 0.3), config_.carrier_hz);
     u.links.reserve(layout_.num_cells());
@@ -145,6 +162,9 @@ Simulator::Simulator(const SystemConfig& config)
       u.voice.emplace(vc, user_rng.fork(2));
     }
   }
+
+  csi_->init(&layout_, users_.size());
+  pilot_db_scratch_.resize(layout_.num_cells());
 }
 
 SimMetrics Simulator::run() {
@@ -160,6 +180,7 @@ void Simulator::step_frame() {
   step_reverse_measurements();
   step_power_control();
   step_traffic();
+  build_frame_context();
   for (int c = 0; c < config_.placement.carriers; ++c) {
     run_admission(mac::LinkDirection::kForward, c);
     run_admission(mac::LinkDirection::kReverse, c);
@@ -172,34 +193,46 @@ void Simulator::step_frame() {
 }
 
 void Simulator::step_mobility_and_channel() {
-  for (auto& u : users_) {
-    const double moved = u.mobility->step(config_.frame_s);
-    const cell::Point pos = u.mobility->position();
-    for (std::size_t k = 0; k < u.links.size(); ++k) {
-      u.links[k].set_distance(layout_.distance_to_cell(pos, k));
-      u.links[k].step(moved, config_.frame_s);
-      u.gain_mean[k] = u.links[k].mean_gain();
-      u.gain_inst[k] = u.links[k].instantaneous_gain();
-    }
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    User& u = users_[i];
+    const ChannelUserView view{u.mobility.get(), &u.links, &u.gain_mean, &u.gain_inst,
+                               &u.active_set};
+    csi_->step_user(i, view, config_.frame_s);
   }
 }
 
 void Simulator::step_forward_measurements() {
   const std::size_t cells = layout_.num_cells();
-  for (auto& u : users_) {
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    User& u = users_[i];
     // Only the user's own carrier contributes interference: other carriers
-    // are separate frequencies.
+    // are separate frequencies.  Only candidate cells carry live gain state;
+    // the rest contribute zero by construction.
+    const std::vector<std::size_t>& candidates = csi_->cells_for(i);
     double total = noise_w_;
-    for (std::size_t k = 0; k < cells; ++k) {
+    for (std::size_t k : candidates) {
       total += stations_[station_index(k, u.carrier)].prev_forward_w * u.gain_mean[k];
     }
     u.fwd_interference_w = total;
-    std::vector<double> pilot_db(cells);
-    for (std::size_t k = 0; k < cells; ++k) {
-      u.pilot_fl[k] = config_.radio.pilot_power_w * u.gain_mean[k] / total;
-      pilot_db[k] = common::linear_to_db(std::max(u.pilot_fl[k], kTiny));
+    if (candidates.size() == cells) {
+      // Exhaustive provider: dense update, bit-identical to the legacy path.
+      for (std::size_t k : candidates) {
+        u.pilot_fl[k] = config_.radio.pilot_power_w * u.gain_mean[k] / total;
+        pilot_db_scratch_[k] = common::linear_to_db(std::max(u.pilot_fl[k], kTiny));
+      }
+      u.active_set.update(pilot_db_scratch_, config_.frame_s);
+    } else {
+      // Culled provider: only candidate cells report; everything else sits
+      // at the floor pilot (below every hand-off threshold) implicitly, so
+      // per-user work is O(candidates), not O(cells).
+      pilot_pairs_scratch_.clear();
+      for (std::size_t k : candidates) {
+        u.pilot_fl[k] = config_.radio.pilot_power_w * u.gain_mean[k] / total;
+        pilot_pairs_scratch_.push_back(
+            {k, common::linear_to_db(std::max(u.pilot_fl[k], kTiny))});
+      }
+      u.active_set.update_sparse(pilot_pairs_scratch_, kPilotFloorDb, config_.frame_s);
     }
-    u.active_set.update(pilot_db, config_.frame_s);
 
     // Own-cell orthogonality credit on the primary leg.
     const std::size_t prim = u.active_set.primary();
@@ -213,10 +246,10 @@ void Simulator::step_forward_measurements() {
 
 void Simulator::step_reverse_measurements() {
   for (auto& bs : stations_) bs.received_w = noise_w_;
-  const std::size_t cells = layout_.num_cells();
-  for (const auto& u : users_) {
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    const User& u = users_[i];
     if (u.prev_tx_w <= 0.0) continue;
-    for (std::size_t k = 0; k < cells; ++k) {
+    for (std::size_t k : csi_->cells_for(i)) {
       stations_[station_index(k, u.carrier)].received_w += u.prev_tx_w * u.gain_mean[k];
     }
   }
@@ -338,109 +371,118 @@ std::size_t Simulator::coverage_bin(const User& u) const {
   return std::min(bin, kCoverageBins - 1);
 }
 
-void Simulator::run_admission(mac::LinkDirection direction, int carrier) {
-  // Gather pending requests for this direction on this carrier.
-  std::vector<User*> pending;
-  for (auto& u : users_) {
-    if (!u.is_data || !u.has_pending || u.burst.active) continue;
-    if (u.carrier != carrier) continue;
-    if (now_s_ < u.next_eligible_s) continue;  // SCRM persistence gate
-    const bool fwd = direction == mac::LinkDirection::kForward;
-    if (u.forward_dir != fwd) continue;
-    pending.push_back(&u);
+void Simulator::build_frame_context() {
+  admission::FrameContext& ctx = frame_ctx_;
+  ctx.now_s = now_s_;
+  ctx.num_cells = layout_.num_cells();
+  ctx.carriers = config_.placement.carriers;
+  ctx.p_max_watt = config_.radio.bs_max_power_w;
+  ctx.l_max_watt = l_max_w_;
+  ctx.gamma_s = config_.spreading.gamma_s;
+  ctx.kappa_linear = common::db_to_linear(config_.admission.kappa_margin_db);
+  ctx.objective = config_.admission.objective;
+  ctx.penalty = config_.admission.penalty;
+  ctx.timers = config_.mac_timers;
+  ctx.fch_bit_rate = config_.spreading.fch_bit_rate;
+  ctx.min_burst_s = config_.admission.min_burst_s;
+  ctx.max_sgr = config_.spreading.max_sgr;
+
+  ctx.forward_load_watt.resize(stations_.size());
+  ctx.reverse_interference_watt.resize(stations_.size());
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    ctx.forward_load_watt[s] = stations_[s].prev_forward_w;
+    ctx.reverse_interference_watt[s] = stations_[s].received_w;
   }
-  if (pending.empty()) return;
 
-  const std::size_t nd = pending.size();
-  admission::Region region;
-  std::vector<admission::RequestView> views(nd);
-  std::vector<int> tx_caps(nd, config_.spreading.max_sgr);
+  ctx.requests.clear();
+  pending_users_.clear();
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    User& u = users_[i];
+    if (!u.is_data || !u.has_pending || u.burst.active) continue;
+    if (now_s_ < u.next_eligible_s) continue;  // SCRM persistence gate
 
-  if (direction == mac::LinkDirection::kForward) {
-    admission::ForwardLinkInputs inputs;
-    inputs.p_max_watt = config_.radio.bs_max_power_w;
-    inputs.gamma_s = config_.spreading.gamma_s;
-    inputs.cell_load_watt.resize(layout_.num_cells());
-    for (std::size_t k = 0; k < layout_.num_cells(); ++k) {
-      inputs.cell_load_watt[k] = stations_[station_index(k, carrier)].prev_forward_w;
+    admission::FrameRequest r;
+    r.user = u.id;
+    r.carrier = u.carrier;
+    r.forward = u.forward_dir;
+    r.q_bits = u.pending_bits;
+    r.waiting_s = now_s_ - u.pending_arrival_s;
+    r.priority = u.priority;
+    r.delta_beta = delta_beta(u);
+    r.fch_power_watt = u.fl_pc.power_watt();
+    r.pilot_tx_watt = u.rl_pc.power_watt();
+    r.alpha_fl = u.active_set.forward_adjustment();
+    r.alpha_rl = u.active_set.reverse_adjustment();
+    r.zeta = config_.admission.zeta_fch_pilot_ratio;
+    for (std::size_t k : u.active_set.reduced()) {
+      r.reduced_set.push_back({k, u.gain_mean[k]});
     }
-    inputs.users.resize(nd);
-    for (std::size_t j = 0; j < nd; ++j) {
-      const User& u = *pending[j];
-      auto& m = inputs.users[j];
-      m.alpha_fl = u.active_set.forward_adjustment();
-      for (std::size_t k : u.active_set.reduced()) {
-        m.reduced_active_set.push_back({k, u.fl_pc.power_watt()});
-      }
-    }
-    region = build_forward_region(inputs);
-  } else {
-    admission::ReverseLinkInputs inputs;
-    inputs.l_max_watt = l_max_w_;
-    inputs.gamma_s = config_.spreading.gamma_s;
-    inputs.kappa = common::db_to_linear(config_.admission.kappa_margin_db);
-    inputs.cell_interference_watt.resize(layout_.num_cells());
-    for (std::size_t k = 0; k < layout_.num_cells(); ++k) {
-      inputs.cell_interference_watt[k] = stations_[station_index(k, carrier)].received_w;
-    }
-    inputs.users.resize(nd);
-    for (std::size_t j = 0; j < nd; ++j) {
-      const User& u = *pending[j];
-      auto& m = inputs.users[j];
-      m.zeta = config_.admission.zeta_fch_pilot_ratio;
-      m.alpha_rl = u.active_set.reverse_adjustment();
-      const double pilot_tx = u.rl_pc.power_watt();
-      for (std::size_t k : u.active_set.reduced()) {
-        const double xi_rl =
-            pilot_tx * u.gain_mean[k] /
-            std::max(stations_[station_index(k, carrier)].received_w, kTiny);
-        m.soft_handoff.push_back({k, std::max(xi_rl, kTiny)});
-      }
-      // SCRM: up to 8 strongest forward pilots (footnote 6).
+    if (u.forward_dir) {
+      r.tx_cap = config_.spreading.max_sgr;
+    } else {
+      // SCRM: up to 8 strongest forward pilots (footnote 6), plus the
+      // reverse SGR cap from the mobile's power budget.
       std::vector<std::pair<double, std::size_t>> ranked;
-      for (std::size_t k = 0; k < layout_.num_cells(); ++k)
-        ranked.push_back({u.pilot_fl[k], k});
+      for (std::size_t k : csi_->cells_for(i)) ranked.push_back({u.pilot_fl[k], k});
       std::sort(ranked.begin(), ranked.end(),
                 [](const auto& a, const auto& b) { return a.first > b.first; });
       const std::size_t n_report = std::min<std::size_t>(ranked.size(), 8);
-      for (std::size_t i = 0; i < n_report; ++i) {
-        m.scrm_pilots.push_back({ranked[i].second, ranked[i].first});
+      for (std::size_t n = 0; n < n_report; ++n) {
+        r.scrm_pilots.push_back({ranked[n].second, ranked[n].first});
       }
-      tx_caps[j] = mobile_tx_upper_bound(u);
+      r.tx_cap = mobile_tx_upper_bound(u);
     }
-    region = build_reverse_region(inputs);
+    ctx.requests.push_back(std::move(r));
+    pending_users_.push_back(&u);
   }
+}
 
-  for (std::size_t j = 0; j < nd; ++j) {
-    const User& u = *pending[j];
-    views[j].user = u.id;
-    views[j].q_bits = u.pending_bits;
-    views[j].waiting_s = now_s_ - u.pending_arrival_s;
-    views[j].priority = u.priority;
-    views[j].delta_beta = delta_beta(u);
+void Simulator::run_admission(mac::LinkDirection direction, int carrier) {
+  // A request snapshot matches exactly one (carrier, direction) round per
+  // frame, so rounds never see each other's requests.
+  const bool fwd = direction == mac::LinkDirection::kForward;
+  std::vector<std::size_t> round;
+  for (std::size_t i = 0; i < frame_ctx_.requests.size(); ++i) {
+    const admission::FrameRequest& r = frame_ctx_.requests[i];
+    if (r.carrier != carrier || r.forward != fwd) continue;
+    round.push_back(i);
   }
+  if (round.empty()) return;
 
-  admission::BurstProblem problem = admission::make_burst_problem(
-      std::move(region), std::move(views), config_.admission.objective,
-      config_.admission.penalty, config_.mac_timers, config_.spreading.fch_bit_rate,
-      config_.admission.min_burst_s, config_.spreading.max_sgr);
-  for (std::size_t j = 0; j < nd; ++j) {
-    problem.upper[j] = std::min(problem.upper[j], tx_caps[j]);
+  const std::vector<admission::PolicyGrant> grants =
+      admission_policy_->decide(frame_ctx_, direction, carrier, round);
+
+  // Scatter the grants, then apply in request order (deterministic).  A
+  // policy may only grant requests it was handed this round.
+  std::vector<char> in_round(frame_ctx_.requests.size(), 0);
+  for (std::size_t idx : round) in_round[idx] = 1;
+  std::vector<int> m(frame_ctx_.requests.size(), 0);
+  std::vector<int> grant_carrier(frame_ctx_.requests.size(), carrier);
+  for (const admission::PolicyGrant& g : grants) {
+    WCDMA_ASSERT(g.request < frame_ctx_.requests.size());
+    WCDMA_ASSERT(in_round[g.request] && "policy granted a request outside its round");
+    WCDMA_ASSERT(g.m > 0 && g.m <= frame_ctx_.requests[g.request].tx_cap);
+    WCDMA_ASSERT(g.carrier >= 0 && g.carrier < config_.placement.carriers);
+    m[g.request] = g.m;
+    grant_carrier[g.request] = g.carrier;
   }
-
-  const admission::Allocation alloc = scheduler_->schedule(problem);
-  WCDMA_ASSERT(problem.region.admits(alloc.m));
 
   int granted = 0;
-  for (std::size_t j = 0; j < nd; ++j) {
-    if (alloc.m[j] <= 0) {
-      pending[j]->next_eligible_s = now_s_ + config_.admission.scrm_retry_s;
+  for (std::size_t idx : round) {
+    User& u = *pending_users_[idx];
+    if (m[idx] <= 0) {
+      u.next_eligible_s = now_s_ + config_.admission.scrm_retry_s;
       continue;
     }
-    User& u = *pending[j];
+    if (grant_carrier[idx] != u.carrier) {
+      // Inter-carrier hand-down: the burst (and the user's FCH) moves to
+      // the granting carrier's interference domain.
+      u.carrier = grant_carrier[idx];
+      if (!in_warmup()) ++metrics_.carrier_hand_downs;
+    }
     const double waited = now_s_ - u.pending_arrival_s;
     u.burst.active = true;
-    u.burst.m = alloc.m[j];
+    u.burst.m = m[idx];
     u.burst.remaining_bits = u.pending_bits;
     u.burst.arrival_s = u.pending_arrival_s;
     u.burst.setup_left_s = mac::setup_delay_for_wait(config_.mac_timers, waited);
@@ -450,7 +492,7 @@ void Simulator::run_admission(mac::LinkDirection direction, int carrier) {
     if (!in_warmup()) {
       ++metrics_.grants;
       metrics_.queue_delay_s.add(waited);
-      metrics_.granted_sgr.add(static_cast<double>(alloc.m[j]));
+      metrics_.granted_sgr.add(static_cast<double>(m[idx]));
     }
   }
   if (granted == 0 && !in_warmup()) ++metrics_.reject_rounds;

@@ -16,10 +16,11 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/admission/measurement.hpp"
-#include "src/admission/schedulers.hpp"
+#include "src/admission/policy.hpp"
 #include "src/cell/active_set.hpp"
 #include "src/cell/geometry.hpp"
 #include "src/cell/mobility.hpp"
@@ -31,6 +32,7 @@
 #include "src/phy/link_adapter.hpp"
 #include "src/phy/spreading.hpp"
 #include "src/power/power_control.hpp"
+#include "src/sim/channel_state.hpp"
 #include "src/sim/config.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/traffic/data.hpp"
@@ -66,6 +68,10 @@ class Simulator {
   double thermal_noise_w() const { return noise_w_; }
   int active_bursts() const;
   int pending_requests() const;
+  /// Resolved admission-policy and channel-state-provider registry names
+  /// (round-trippable through admission::make_policy / make_channel_provider).
+  std::string policy_name() const { return admission_policy_name_; }
+  std::string channel_provider_name() const { return csi_->name(); }
 
  private:
   /// One interference domain: a (cell, carrier) pair.  With one carrier
@@ -137,8 +143,12 @@ class Simulator {
   void step_reverse_measurements();
   void step_power_control();
   void step_traffic();
+  /// Snapshots this frame's measurements and eligible requests into the
+  /// read-only FrameContext handed to the admission policy.
+  void build_frame_context();
   /// One scheduling round for one direction on one carrier: only
-  /// same-carrier users share power/rise budgets.
+  /// same-carrier users share power/rise budgets.  Delegates the decision
+  /// to the admission policy and applies grants/rejections.
   void run_admission(mac::LinkDirection direction, int carrier);
   void step_transmission();
   void update_transmit_powers();
@@ -161,11 +171,18 @@ class Simulator {
   channel::PathLoss path_loss_;
   phy::Spreading spreading_;
   phy::AdaptationPolicy policy_;
-  std::unique_ptr<admission::Scheduler> scheduler_;
+  std::string admission_policy_name_;  // registry key the policy resolved from
+  std::unique_ptr<admission::AdmissionPolicy> admission_policy_;
+  std::unique_ptr<ChannelStateProvider> csi_;
   common::Rng rng_;
 
   std::vector<BaseStation> stations_;
   std::vector<User> users_;
+  // Per-frame admission snapshot (rebuilt by build_frame_context).
+  admission::FrameContext frame_ctx_;
+  std::vector<User*> pending_users_;      // aligned with frame_ctx_.requests
+  std::vector<double> pilot_db_scratch_;  // dense pilot buffer (exhaustive)
+  std::vector<std::pair<std::size_t, double>> pilot_pairs_scratch_;  // sparse (culled)
   double noise_w_ = 0.0;
   double l_max_w_ = 0.0;
   double fch_pg_ = 0.0;        // W / R_f processing gain

@@ -155,6 +155,34 @@ SweepSpec enterprise_data() {
   return spec;
 }
 
+/// Exhaustive vs. neighbour-culled channel-state providers on the 19-cell
+/// hotspot grid: the metric-equivalence and frames/sec story in one sweep.
+SweepSpec csi_providers() {
+  SweepSpec spec;
+  spec.name = "csi-providers";
+  spec.base = scenario::hotspot_center().to_config();
+  spec.base.sim_duration_s = 60.0;
+  spec.base.warmup_s = 8.0;
+  spec.axes = {axis_csi_provider({"exhaustive", "culled"}),
+               axis_load_scale({1.0, 2.0})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// Inter-carrier hand-down against plain JABA-SD on the two-carrier
+/// enterprise layout: the load-balancing win of the policy API.
+SweepSpec carrier_balance() {
+  SweepSpec spec;
+  spec.name = "carrier-balance";
+  spec.base = scenario::enterprise_data().to_config();
+  spec.axes = {axis_policy({"jaba-sd", "hand-down"}),
+               axis_load_scale({1.0, 1.5})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
 /// Tiny 2-scenario grid for CI smoke runs and engine tests.
 SweepSpec smoke() {
   SweepSpec spec;
@@ -195,6 +223,10 @@ const PresetEntry kPresets[] = {
      highway_corridor},
     {"enterprise-data", "data-heavy enterprise mix, carriers x objective",
      enterprise_data},
+    {"csi-providers", "exhaustive vs culled channel state, load scale x provider",
+     csi_providers},
+    {"carrier-balance", "inter-carrier hand-down vs JABA-SD, two carriers",
+     carrier_balance},
     {"smoke", "tiny 2-scenario grid for CI smoke runs", smoke},
 };
 

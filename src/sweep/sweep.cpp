@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <mutex>
 
+#include "src/admission/policy.hpp"
 #include "src/common/assert.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/sim/channel_state.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace wcdma::sweep {
@@ -72,6 +74,27 @@ Axis axis_scheduler(const std::vector<admission::SchedulerKind>& kinds) {
     axis.values.push_back({admission::to_string(kind), [kind](sim::SystemConfig& cfg) {
                              cfg.admission.scheduler = kind;
                            }});
+  }
+  return axis;
+}
+
+Axis axis_policy(const std::vector<std::string>& names) {
+  Axis axis{"policy", {}};
+  for (const std::string& name : names) {
+    WCDMA_ASSERT(admission::has_policy(name) && "unknown admission policy in axis");
+    axis.values.push_back(
+        {name, [name](sim::SystemConfig& cfg) { cfg.admission.policy = name; }});
+  }
+  return axis;
+}
+
+Axis axis_csi_provider(const std::vector<std::string>& names) {
+  Axis axis{"csi_provider", {}};
+  for (const std::string& name : names) {
+    WCDMA_ASSERT(sim::has_channel_provider(name) &&
+                 "unknown channel-state provider in axis");
+    axis.values.push_back(
+        {name, [name](sim::SystemConfig& cfg) { cfg.csi.provider = name; }});
   }
   return axis;
 }
@@ -269,7 +292,7 @@ common::Table to_table(const SweepResult& result) {
   headers.insert(headers.end(), result.axis_names.begin(), result.axis_names.end());
   for (const char* metric :
        {"mean_delay_s", "p95_delay_s", "throughput_kbps", "grant_rate", "mean_sgr",
-        "sch_outage_rate"}) {
+        "sch_outage_rate", "hand_downs"}) {
     headers.push_back(metric);
   }
   common::Table table(std::move(headers));
@@ -281,6 +304,7 @@ common::Table to_table(const SweepResult& result) {
                      m.grant_rate(), m.granted_sgr.mean(), m.sch_outage_rate()}) {
       row.push_back(common::format_double(v, 6));
     }
+    row.push_back(std::to_string(m.carrier_hand_downs));
     table.add_row(std::move(row));
   }
   return table;

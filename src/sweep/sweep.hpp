@@ -43,6 +43,11 @@ Axis axis_max_speed_kmh(const std::vector<double>& kmh);
 Axis axis_path_loss_exponent(const std::vector<double>& exponents);
 Axis axis_shadowing_sigma_db(const std::vector<double>& sigmas);
 Axis axis_scheduler(const std::vector<admission::SchedulerKind>& kinds);
+/// Admission policy by registry name (admission::policy_names()); reaches
+/// policies the SchedulerKind enum cannot (e.g. "hand-down").
+Axis axis_policy(const std::vector<std::string>& names);
+/// Channel-state provider by registry name ("exhaustive", "culled").
+Axis axis_csi_provider(const std::vector<std::string>& names);
 Axis axis_objective(const std::vector<admission::ObjectiveKind>& kinds);
 /// 0 = adaptive VTAOC, 1..6 = fixed-rate ablation at that mode.
 Axis axis_fixed_mode(const std::vector<int>& modes);

@@ -201,6 +201,75 @@ TEST(FixedPosition, NeverMoves) {
   EXPECT_DOUBLE_EQ(fixed.speed_mps(), 0.0);
 }
 
+MobilityConfig corridor_config() {
+  MobilityConfig cfg;
+  cfg.kind = MobilityKind::kCorridor;
+  cfg.min_speed_mps = 16.7;
+  cfg.max_speed_mps = 33.3;
+  cfg.corridor_half_length_m = 4000.0;
+  cfg.corridor_half_width_m = 500.0;
+  return cfg;
+}
+
+TEST(CorridorMobility, StaysOnTheRoad) {
+  CorridorMobility car(corridor_config(), Rng(31));
+  const double lane_y = car.position().y;
+  for (int i = 0; i < 5000; ++i) {
+    car.step(0.25);
+    EXPECT_LE(std::fabs(car.position().x), 4000.0 + 1e-6);
+    // The lane offset is drawn once and never changes: pure along-road motion.
+    EXPECT_DOUBLE_EQ(car.position().y, lane_y);
+    EXPECT_LE(std::fabs(lane_y), 500.0);
+  }
+}
+
+TEST(CorridorMobility, MovesDirectionallyAndWrapsAround) {
+  const MobilityConfig cfg = corridor_config();
+  CorridorMobility car(cfg, Rng(47));
+  const int dir = car.direction();
+  int wraps = 0;
+  double prev_x = car.position().x;
+  // 2500 s at >= 16.7 m/s covers the 8 km road several times.
+  for (int i = 0; i < 10000; ++i) {
+    const double speed_before = car.speed_mps();  // wraps redraw the speed
+    const double moved = car.step(0.25);
+    EXPECT_NEAR(moved, speed_before * 0.25, 1e-9);
+    EXPECT_EQ(car.direction(), dir);  // direction persists for the whole drive
+    const double dx = car.position().x - prev_x;
+    if (dir * dx < 0.0) {
+      ++wraps;  // only a wrap moves the position against the travel direction
+      EXPECT_GT(std::fabs(dx), cfg.corridor_half_length_m);
+    }
+    EXPECT_GE(car.speed_mps(), cfg.min_speed_mps);
+    EXPECT_LE(car.speed_mps(), cfg.max_speed_mps);
+    prev_x = car.position().x;
+  }
+  EXPECT_GE(wraps, 2);
+}
+
+TEST(CorridorMobility, DerivesHalfLengthFromRegionRadius) {
+  MobilityConfig cfg = corridor_config();
+  cfg.corridor_half_length_m = 0.0;  // derive from the service region
+  cfg.region_radius_m = 1500.0;
+  CorridorMobility car(cfg, Rng(53));
+  for (int i = 0; i < 2000; ++i) {
+    car.step(0.5);
+    EXPECT_LE(std::fabs(car.position().x), 1500.0 + 1e-6);
+  }
+}
+
+TEST(MakeMobility, BuildsTheConfiguredKind) {
+  MobilityConfig rw;
+  rw.region_radius_m = 1000.0;
+  const auto waypoint = make_mobility(rw, Rng(5));
+  ASSERT_NE(waypoint, nullptr);
+  EXPECT_NE(dynamic_cast<RandomWaypoint*>(waypoint.get()), nullptr);
+
+  const auto corridor = make_mobility(corridor_config(), Rng(5));
+  ASSERT_NE(corridor, nullptr);
+  EXPECT_NE(dynamic_cast<CorridorMobility*>(corridor.get()), nullptr);
+}
+
 // ---------------------------------------------------------------- active set
 
 ActiveSetConfig as_config() {
@@ -275,6 +344,35 @@ TEST(ActiveSet, ReducedSetIsTwoStrongest) {
   ASSERT_EQ(reduced.size(), 2u);
   EXPECT_EQ(reduced[0], 1u);  // strongest first
   EXPECT_EQ(reduced[1], 0u);
+}
+
+TEST(ActiveSet, SparseUpdateMatchesDenseWithFloor) {
+  // Two sets driven by the same pilot trajectory: one dense (unreported
+  // cells at the floor), one sparse.  Membership must evolve identically,
+  // including drop-timer expiry of a cell that stops being reported.
+  ActiveSet dense(as_config(), 6);
+  ActiveSet sparse(as_config(), 6);
+  const double kFloor = -500.0;
+
+  auto step_both = [&](const std::vector<std::pair<std::size_t, double>>& pilots,
+                       double dt) {
+    std::vector<double> full(6, kFloor);
+    for (const auto& [cell, db] : pilots) full[cell] = db;
+    dense.update(full, dt);
+    sparse.update_sparse(pilots, kFloor, dt);
+    ASSERT_EQ(dense.members(), sparse.members());
+    EXPECT_EQ(dense.primary(), sparse.primary());
+    EXPECT_EQ(dense.reduced(), sparse.reduced());
+  };
+
+  step_both({{0, -9.0}, {1, -12.0}, {2, -13.5}, {3, -20.0}}, 0.02);
+  EXPECT_EQ(sparse.members().size(), 3u);
+  // Cell 1 degrades below t_drop; cell 4 appears strong.
+  for (int i = 0; i < 60; ++i) {
+    step_both({{0, -9.0}, {1, -17.0}, {2, -13.0}, {4, -10.0}}, 0.02);
+  }
+  EXPECT_FALSE(sparse.contains(1));  // drop timer expired identically
+  EXPECT_TRUE(sparse.contains(4));
 }
 
 TEST(ActiveSet, AdjustmentFactors) {

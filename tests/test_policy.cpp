@@ -1,0 +1,292 @@
+// Tests for the pluggable admission-policy and channel-state-provider seams:
+// registry round-trips and unknown-name rejection, bit-identity of the
+// default policy + exhaustive provider against pre-refactor golden metrics
+// (a shrunk E5 run and a 19-cell default run), exhaustive-vs-culled metric
+// equivalence on uniform-hex7, and the inter-carrier hand-down policy both
+// on a synthetic FrameContext and through the simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/admission/policy.hpp"
+#include "src/scenario/experiments.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/sim/channel_state.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sweep/sweep.hpp"
+
+namespace wcdma {
+namespace {
+
+TEST(PolicyRegistry, RoundTripsEveryRegisteredName) {
+  const std::vector<std::string> names = admission::policy_names();
+  ASSERT_GE(names.size(), 7u);  // six schedulers + hand-down
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    EXPECT_TRUE(admission::has_policy(name));
+    EXPECT_FALSE(admission::policy_description(name).empty());
+    const auto policy = admission::make_policy(name, 7);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_FALSE(policy->name().empty());
+  }
+  EXPECT_FALSE(admission::has_policy("no-such-policy"));
+  EXPECT_FALSE(admission::has_policy(""));
+}
+
+TEST(PolicyRegistry, LegacySchedulerKindsMapToRegisteredNames) {
+  using admission::SchedulerKind;
+  for (SchedulerKind kind :
+       {SchedulerKind::kJabaSd, SchedulerKind::kGreedy, SchedulerKind::kFcfs,
+        SchedulerKind::kFcfsSingle, SchedulerKind::kEqualShare, SchedulerKind::kRandom}) {
+    EXPECT_TRUE(admission::has_policy(admission::policy_name(kind)));
+  }
+}
+
+TEST(ChannelProviderRegistry, RoundTripsEveryRegisteredName) {
+  const std::vector<std::string> names = sim::channel_provider_names();
+  ASSERT_GE(names.size(), 2u);
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    EXPECT_TRUE(sim::has_channel_provider(name));
+    EXPECT_FALSE(sim::channel_provider_description(name).empty());
+    sim::CsiConfig csi;
+    csi.provider = name;
+    const auto provider = sim::make_channel_provider(csi);
+    ASSERT_NE(provider, nullptr);
+    EXPECT_EQ(provider->name(), name);
+  }
+  EXPECT_FALSE(sim::has_channel_provider("no-such-provider"));
+}
+
+TEST(PolicyRegistry, SimulatorResolvesExplicitPolicyOverEnum) {
+  sim::SystemConfig cfg = sim::default_config();
+  cfg.layout.rings = 1;
+  cfg.voice.users = 4;
+  cfg.data.users = 2;
+  cfg.sim_duration_s = 2.0;
+  cfg.warmup_s = 0.5;
+  cfg.admission.scheduler = admission::SchedulerKind::kJabaSd;
+  cfg.admission.policy = "fcfs";
+  const sim::Simulator simulator(cfg);
+  // Registry keys, so the names round-trip through make_policy().
+  EXPECT_EQ(simulator.policy_name(), "fcfs");
+  EXPECT_TRUE(admission::has_policy(simulator.policy_name()));
+  EXPECT_EQ(simulator.channel_provider_name(), "exhaustive");
+  EXPECT_TRUE(sim::has_channel_provider(simulator.channel_provider_name()));
+}
+
+// --- Golden bit-identity: default policy + exhaustive provider ------------
+// Values captured from the pre-refactor simulator (PR 2 tree) running the
+// same configs; the seam refactor must not perturb a single bit.
+
+TEST(GoldenMetrics, ShrunkE5RunIsBitIdenticalToPreRefactor) {
+  sweep::SweepSpec spec = scenario::e5_delay_rl();
+  spec.base.voice.users = 10;
+  spec.base.sim_duration_s = 8.0;
+  spec.base.warmup_s = 2.0;
+  spec.axes = {sweep::axis_data_users({4, 8}),
+               sweep::axis_scheduler({admission::SchedulerKind::kJabaSd})};
+  spec.replications = 2;
+  const sweep::SweepResult r = sweep::run_sweep(spec, 0);
+  ASSERT_EQ(r.scenarios.size(), 2u);
+
+  EXPECT_EQ(r.scenarios[0].merged.mean_delay_s(), 3.377499999999976);
+  EXPECT_EQ(r.scenarios[0].merged.data_bits_delivered, 566053.76816169859);
+  EXPECT_EQ(r.scenarios[0].merged.grants, 12);
+  EXPECT_EQ(r.scenarios[0].merged.requests_seen, 11);
+  EXPECT_EQ(r.scenarios[0].merged.granted_sgr.mean(), 10.166666666666666);
+  EXPECT_EQ(r.scenarios[0].merged.queue_delay_s.mean(), 0.92833333333332868);
+
+  EXPECT_EQ(r.scenarios[1].merged.mean_delay_s(), 3.7963636363636124);
+  EXPECT_EQ(r.scenarios[1].merged.data_bits_delivered, 722632.86752643727);
+  EXPECT_EQ(r.scenarios[1].merged.grants, 16);
+  EXPECT_EQ(r.scenarios[1].merged.requests_seen, 16);
+  EXPECT_EQ(r.scenarios[1].merged.granted_sgr.mean(), 8.4375);
+  EXPECT_EQ(r.scenarios[1].merged.queue_delay_s.mean(), 1.9474999999999889);
+}
+
+TEST(GoldenMetrics, DefaultNineteenCellRunIsBitIdenticalToPreRefactor) {
+  sim::SystemConfig cfg = sim::default_config();
+  cfg.voice.users = 24;
+  cfg.data.users = 10;
+  cfg.sim_duration_s = 10.0;
+  cfg.warmup_s = 2.0;
+  cfg.data.mean_reading_s = 1.0;
+  cfg.seed = 777;
+  sim::Simulator simulator(cfg);
+  const sim::SimMetrics m = simulator.run();
+  EXPECT_EQ(m.mean_delay_s(), 2.4247619047618771);
+  EXPECT_EQ(m.data_bits_delivered, 1822960.2476650341);
+  EXPECT_EQ(m.grants, 19);
+  EXPECT_EQ(m.requests_seen, 20);
+  EXPECT_EQ(m.granted_sgr.mean(), 15.368421052631579);
+  EXPECT_EQ(m.reverse_rise_db.mean(), 1.9151694279634321);
+  EXPECT_EQ(m.forward_load_fraction.mean(), 0.22418013411970059);
+  EXPECT_EQ(m.carrier_hand_downs, 0);
+}
+
+TEST(GoldenMetrics, ExplicitPolicyStringMatchesLegacyEnumPath) {
+  sim::SystemConfig cfg = sim::default_config();
+  cfg.layout.rings = 1;
+  cfg.voice.users = 10;
+  cfg.data.users = 6;
+  cfg.sim_duration_s = 6.0;
+  cfg.warmup_s = 1.0;
+  cfg.seed = 4242;
+
+  cfg.admission.scheduler = admission::SchedulerKind::kEqualShare;
+  cfg.admission.policy.clear();
+  const sim::SimMetrics via_enum = sim::Simulator(cfg).run();
+
+  cfg.admission.policy = "equal-share";
+  const sim::SimMetrics via_string = sim::Simulator(cfg).run();
+
+  EXPECT_EQ(via_enum.mean_delay_s(), via_string.mean_delay_s());
+  EXPECT_EQ(via_enum.data_bits_delivered, via_string.data_bits_delivered);
+  EXPECT_EQ(via_enum.grants, via_string.grants);
+}
+
+// --- Exhaustive vs culled provider equivalence ----------------------------
+
+TEST(ChannelProviders, CulledMatchesExhaustiveOnUniformHex7) {
+  scenario::ScenarioLayout layout = scenario::uniform_hex7();
+  layout.sim_duration_s = 20.0;
+  layout.warmup_s = 4.0;
+  sim::SystemConfig cfg = layout.to_config();
+
+  cfg.csi.provider = "exhaustive";
+  const sim::SimMetrics ex = sim::Simulator(cfg).run();
+  cfg.csi.provider = "culled";
+  const sim::SimMetrics cu = sim::Simulator(cfg).run();
+
+  ASSERT_GT(ex.burst_delay_s.count(), 0u);
+  ASSERT_GT(cu.burst_delay_s.count(), 0u);
+  // Culling drops only far-cell interference terms; headline metrics must
+  // agree within statistical tolerance (measured margins are ~2x tighter).
+  EXPECT_NEAR(cu.mean_delay_s(), ex.mean_delay_s(), 0.4 * ex.mean_delay_s());
+  EXPECT_NEAR(cu.data_throughput_bps(), ex.data_throughput_bps(),
+              0.2 * ex.data_throughput_bps());
+  EXPECT_NEAR(cu.granted_sgr.mean(), ex.granted_sgr.mean(),
+              0.2 * ex.granted_sgr.mean());
+  EXPECT_NEAR(cu.grant_rate(), ex.grant_rate(), 0.2);
+  EXPECT_NEAR(cu.reverse_rise_db.mean(), ex.reverse_rise_db.mean(), 1.0);
+  EXPECT_NEAR(cu.sch_outage_rate(), ex.sch_outage_rate(), 0.1);
+}
+
+TEST(ChannelProviders, CulledKeepsPowerInvariants) {
+  sim::SystemConfig cfg = sim::default_config();
+  cfg.voice.users = 20;
+  cfg.data.users = 8;
+  cfg.sim_duration_s = 4.0;
+  cfg.warmup_s = 1.0;
+  cfg.csi.provider = "culled";
+  sim::Simulator simulator(cfg);
+  const int frames = static_cast<int>(cfg.sim_duration_s / cfg.frame_s);
+  for (int f = 0; f < frames; ++f) {
+    simulator.step_frame();
+    for (std::size_t k = 0; k < simulator.num_cells(); ++k) {
+      EXPECT_LE(simulator.forward_power_w(k), cfg.radio.bs_max_power_w + 1e-9);
+      EXPECT_GE(simulator.reverse_interference_w(k), simulator.thermal_noise_w());
+    }
+  }
+}
+
+// --- Hand-down policy -----------------------------------------------------
+
+/// Synthetic context: one cell, two carriers; carrier 0's PA is at the cap,
+/// carrier 1 idles.  Only the policy API can express the resulting grant.
+admission::FrameContext overloaded_carrier_context() {
+  admission::FrameContext ctx;
+  ctx.now_s = 1.0;
+  ctx.num_cells = 1;
+  ctx.carriers = 2;
+  ctx.p_max_watt = 20.0;
+  ctx.forward_load_watt = {20.0, 3.0};        // (cell 0, carrier 0/1)
+  ctx.reverse_interference_watt = {1e-12, 1e-13};
+  ctx.l_max_watt = 4e-12;
+
+  admission::FrameRequest r;
+  r.user = 0;
+  r.carrier = 0;
+  r.forward = true;
+  r.q_bits = 1.0e6;
+  r.waiting_s = 0.5;
+  r.delta_beta = 1.0;
+  r.tx_cap = ctx.max_sgr;
+  r.fch_power_watt = 0.5;
+  r.reduced_set = {{0, 1.0e-12}};
+  ctx.requests.push_back(r);
+  return ctx;
+}
+
+TEST(HandDownPolicy, MovesRejectedRequestToIdleCarrier) {
+  const admission::FrameContext ctx = overloaded_carrier_context();
+  const std::vector<std::size_t> round = {0};
+
+  // The plain scheduler policy must reject: carrier 0 has zero headroom.
+  auto base = admission::make_policy("jaba-sd");
+  EXPECT_TRUE(base->decide(ctx, mac::LinkDirection::kForward, 0, round).empty());
+
+  auto hand_down = admission::make_policy("hand-down");
+  const std::vector<admission::PolicyGrant> grants =
+      hand_down->decide(ctx, mac::LinkDirection::kForward, 0, round);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].request, 0u);
+  EXPECT_EQ(grants[0].carrier, 1);  // handed down to the idle carrier
+  EXPECT_GT(grants[0].m, 0);
+  EXPECT_LE(grants[0].m, ctx.max_sgr);
+}
+
+TEST(HandDownPolicy, SingleCarrierBehavesLikeBaseScheduler) {
+  sim::SystemConfig cfg = sim::default_config();
+  cfg.layout.rings = 1;
+  cfg.voice.users = 10;
+  cfg.data.users = 6;
+  cfg.sim_duration_s = 6.0;
+  cfg.warmup_s = 1.0;
+  cfg.seed = 888;
+
+  cfg.admission.policy = "jaba-sd";
+  const sim::SimMetrics base = sim::Simulator(cfg).run();
+  cfg.admission.policy = "hand-down";
+  const sim::SimMetrics hd = sim::Simulator(cfg).run();
+
+  // With one carrier there is nowhere to hand down: identical trajectories.
+  EXPECT_EQ(hd.carrier_hand_downs, 0);
+  EXPECT_EQ(hd.mean_delay_s(), base.mean_delay_s());
+  EXPECT_EQ(hd.data_bits_delivered, base.data_bits_delivered);
+  EXPECT_EQ(hd.grants, base.grants);
+}
+
+TEST(HandDownPolicy, HandsDownUnderTwoCarrierOverload) {
+  scenario::ScenarioLayout layout = scenario::enterprise_data();
+  layout.data_users = 48;
+  layout.sim_duration_s = 15.0;
+  layout.warmup_s = 3.0;
+  sim::SystemConfig cfg = layout.to_config();
+  ASSERT_EQ(cfg.placement.carriers, 2);
+  cfg.admission.policy = "hand-down";
+  const sim::SimMetrics m = sim::Simulator(cfg).run();
+  EXPECT_GT(m.carrier_hand_downs, 0);
+  EXPECT_GT(m.data_bits_delivered, 0.0);
+}
+
+// --- Sweep axes over the new seams ----------------------------------------
+
+TEST(SweepAxes, PolicyAndProviderAxesApply) {
+  const sweep::Axis policy = sweep::axis_policy({"jaba-sd", "hand-down"});
+  EXPECT_EQ(policy.name, "policy");
+  ASSERT_EQ(policy.values.size(), 2u);
+  sim::SystemConfig cfg = sim::default_config();
+  policy.values[1].apply(cfg);
+  EXPECT_EQ(cfg.admission.policy, "hand-down");
+
+  const sweep::Axis csi = sweep::axis_csi_provider({"exhaustive", "culled"});
+  EXPECT_EQ(csi.name, "csi_provider");
+  csi.values[1].apply(cfg);
+  EXPECT_EQ(cfg.csi.provider, "culled");
+  cfg.validate();
+}
+
+}  // namespace
+}  // namespace wcdma

@@ -4,6 +4,9 @@
 // for a migrated bench (bit-identical merged metrics across 1/N threads).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/scenario/experiments.hpp"
 #include "src/scenario/scenario.hpp"
 #include "src/sim/simulator.hpp"
@@ -122,6 +125,39 @@ TEST(Carriers, RoundRobinAssignmentAndIndependentDomains) {
       EXPECT_GE(simulator.reverse_interference_w(k, c), simulator.thermal_noise_w());
     }
   }
+}
+
+TEST(HighwayCorridor, UsesDirectionalCorridorMobility) {
+  const ScenarioLayout layout = highway_corridor();
+  EXPECT_EQ(layout.mobility_kind, cell::MobilityKind::kCorridor);
+  const sim::SystemConfig cfg = layout.to_config();
+  EXPECT_EQ(cfg.mobility.kind, cell::MobilityKind::kCorridor);
+  EXPECT_DOUBLE_EQ(cfg.mobility.corridor_half_width_m, 0.5 * cfg.layout.cell_radius_m);
+}
+
+TEST(HighwayCorridor, UsersStayInTheCorridorBandWhileDriving) {
+  ScenarioLayout layout = highway_corridor();
+  layout.voice_users = 8;
+  layout.data_users = 4;
+  layout.sim_duration_s = 3.0;
+  layout.warmup_s = 0.5;
+  const sim::SystemConfig cfg = layout.to_config();
+  sim::Simulator simulator(cfg);
+  for (int f = 0; f < 100; ++f) {
+    simulator.step_frame();
+    for (std::size_t i = 0; i < simulator.num_users(); ++i) {
+      // Lanes span the corridor weight band; motion is along x only.
+      EXPECT_LE(std::fabs(simulator.user_position(i).y),
+                cfg.mobility.corridor_half_width_m + 1e-9);
+    }
+  }
+  // Vehicles actually drive: positions spread along the road.
+  double min_x = 1e12, max_x = -1e12;
+  for (std::size_t i = 0; i < simulator.num_users(); ++i) {
+    min_x = std::min(min_x, simulator.user_position(i).x);
+    max_x = std::max(max_x, simulator.user_position(i).x);
+  }
+  EXPECT_GT(max_x - min_x, cfg.layout.cell_radius_m);
 }
 
 TEST(MultiCellPresets, RegisteredAndGridsExpand) {

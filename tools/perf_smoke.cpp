@@ -1,0 +1,141 @@
+// Perf smoke: frames/sec of the dynamic simulator on a large multi-cell
+// grid, once per channel-state provider, emitted as BENCH_frames_per_sec.json
+// so the bench trajectory of the frame loop is recorded over time.
+//
+// The grid is the acceptance setting for the culled provider: >= 19 cells at
+// >= 4x the default user population, where exhaustive link state is the
+// bottleneck.  Exit status is 0 even when the speedup is below target (CI
+// smoke, not a gate); the JSON carries the numbers.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/sim/channel_state.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace wcdma;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: perf_smoke [options]\n"
+      "  --frames N       timed frames per provider (default: 200)\n"
+      "  --load-scale X   user multiplier over the default mix (default: 4)\n"
+      "  --output FILE    write JSON to FILE (default: BENCH_frames_per_sec.json)\n");
+}
+
+sim::SystemConfig bench_config(int load_scale) {
+  sim::SystemConfig cfg = sim::default_config();
+  cfg.layout.rings = 2;  // 19 cells
+  cfg.voice.users = 60 * load_scale;
+  cfg.data.users = 12 * load_scale;
+  cfg.data.mean_reading_s = 1.5;
+  cfg.sim_duration_s = 3600.0;  // driven frame-by-frame; never run() to completion
+  cfg.warmup_s = 1.0;
+  cfg.seed = 90210;
+  return cfg;
+}
+
+double frames_per_sec(const sim::SystemConfig& cfg, int frames) {
+  sim::Simulator simulator(cfg);
+  // Short untimed warmup so queues and interference reach a working state.
+  const int warm = frames / 10 + 1;
+  for (int f = 0; f < warm; ++f) simulator.step_frame();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int f = 0; f < frames; ++f) simulator.step_frame();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return secs > 0.0 ? static_cast<double>(frames) / secs : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int frames = 200;
+  int load_scale = 4;
+  std::string output_path = "BENCH_frames_per_sec.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "perf_smoke: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--frames") {
+      frames = std::atoi(next_value());
+      if (frames <= 0) {
+        std::fprintf(stderr, "perf_smoke: bad --frames value\n");
+        return 2;
+      }
+    } else if (arg == "--load-scale") {
+      load_scale = std::atoi(next_value());
+      if (load_scale <= 0) {
+        std::fprintf(stderr, "perf_smoke: bad --load-scale value\n");
+        return 2;
+      }
+    } else if (arg == "--output") {
+      output_path = next_value();
+    } else {
+      std::fprintf(stderr, "perf_smoke: unknown option %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+
+  sim::SystemConfig cfg = bench_config(load_scale);
+  const std::size_t cells = cell::hex_cell_count(cfg.layout.rings);
+  const int users = cfg.voice.users + cfg.data.users;
+  std::fprintf(stderr, "perf_smoke: %zu cells, %d users, %d timed frames/provider\n",
+               cells, users, frames);
+
+  std::string json = "{\n  \"bench\": \"frames_per_sec\",\n";
+  json += "  \"cells\": " + std::to_string(cells) + ",\n";
+  json += "  \"users\": " + std::to_string(users) + ",\n";
+  json += "  \"frames\": " + std::to_string(frames) + ",\n";
+  json += "  \"providers\": {\n";
+
+  double exhaustive_fps = 0.0, culled_fps = 0.0;
+  const std::vector<std::string> providers = sim::channel_provider_names();
+  for (std::size_t p = 0; p < providers.size(); ++p) {
+    cfg.csi.provider = providers[p];
+    const double fps = frames_per_sec(cfg, frames);
+    if (providers[p] == "exhaustive") exhaustive_fps = fps;
+    if (providers[p] == "culled") culled_fps = fps;
+    std::fprintf(stderr, "perf_smoke: %-11s %.1f frames/sec\n", providers[p].c_str(),
+                 fps);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "    \"%s\": %.3f%s\n", providers[p].c_str(), fps,
+                  p + 1 < providers.size() ? "," : "");
+    json += buf;
+  }
+  json += "  },\n";
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  \"culled_speedup\": %.3f\n",
+                  exhaustive_fps > 0.0 ? culled_fps / exhaustive_fps : 0.0);
+    json += buf;
+  }
+  json += "}\n";
+
+  std::FILE* f = std::fopen(output_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_smoke: cannot open %s\n", output_path.c_str());
+    return 1;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  if (std::fclose(f) != 0 || written != json.size()) {
+    std::fprintf(stderr, "perf_smoke: write to %s failed\n", output_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  return 0;
+}

@@ -9,7 +9,9 @@
 #include <cstring>
 #include <string>
 
+#include "src/admission/policy.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/sim/channel_state.hpp"
 #include "src/sweep/presets.hpp"
 #include "src/sweep/sweep.hpp"
 
@@ -22,6 +24,9 @@ void print_usage() {
       "usage: sweep_main [options]\n"
       "  --preset NAME         sweep preset to run (default: smoke)\n"
       "  --list-presets        list registered presets and exit\n"
+      "  --policy NAME         force an admission policy on the preset base\n"
+      "  --list-policies       list registered admission policies and exit\n"
+      "  --csi-provider NAME   force a channel-state provider (exhaustive|culled)\n"
       "  --replications N      override the preset's replication count\n"
       "  --threads N           worker threads (0 = inline; default: hardware)\n"
       "  --seed N              override the master seed\n"
@@ -58,6 +63,8 @@ int main(int argc, char** argv) {
   std::string preset = "smoke";
   std::string format = "csv";
   std::string output_path;
+  std::string policy;
+  std::string csi_provider;
   std::size_t threads = common::default_thread_count();
   bool want_progress = false;
   bool have_replications = false, have_seed = false, have_duration = false;
@@ -85,8 +92,18 @@ int main(int argc, char** argv) {
                     sweep::preset_description(name).c_str());
       }
       return 0;
+    } else if (arg == "--list-policies") {
+      for (const std::string& name : admission::policy_names()) {
+        std::printf("%-16s %s\n", name.c_str(),
+                    admission::policy_description(name).c_str());
+      }
+      return 0;
     } else if (arg == "--preset") {
       preset = next_value();
+    } else if (arg == "--policy") {
+      policy = next_value();
+    } else if (arg == "--csi-provider") {
+      csi_provider = next_value();
     } else if (arg == "--format") {
       format = next_value();
     } else if (arg == "--output") {
@@ -141,8 +158,45 @@ int main(int argc, char** argv) {
                  preset.c_str());
     return 2;
   }
+  if (!policy.empty() && !admission::has_policy(policy)) {
+    std::fprintf(stderr, "sweep_main: unknown policy %s (available:", policy.c_str());
+    for (const std::string& name : admission::policy_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  if (!csi_provider.empty() && !sim::has_channel_provider(csi_provider)) {
+    std::fprintf(stderr, "sweep_main: unknown csi provider %s (available:",
+                 csi_provider.c_str());
+    for (const std::string& name : sim::channel_provider_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
 
   sweep::SweepSpec spec = sweep::make_preset(preset);
+  // A forced policy must win over the preset's own axes, which apply on top
+  // of the base config: collapse any scheduler/policy axis to the single
+  // forced value (the axis column survives with one value, so the output
+  // stays truthful).  Likewise for a forced channel-state provider.
+  if (!policy.empty()) {
+    spec.base.admission.policy = policy;
+    for (sweep::Axis& axis : spec.axes) {
+      if (axis.name == "policy" || axis.name == "scheduler") {
+        axis = sweep::axis_policy({policy});
+      }
+    }
+  }
+  if (!csi_provider.empty()) {
+    spec.base.csi.provider = csi_provider;
+    for (sweep::Axis& axis : spec.axes) {
+      if (axis.name == "csi_provider") {
+        axis = sweep::axis_csi_provider({csi_provider});
+      }
+    }
+  }
   if (have_replications) spec.replications = replications;
   if (have_seed) spec.base.seed = seed;
   if (have_duration) spec.base.sim_duration_s = duration_s;

@@ -130,9 +130,13 @@ std::vector<PolicyGrant> HandDownPolicy::decide(const FrameContext& ctx,
   if (ctx.carriers <= 1) return grants;
 
   // Hand-down pass: each rejected request targets the least-loaded other
-  // carrier (measured at the request's primary cell).  Requests sharing a
-  // target are re-priced JOINTLY on that carrier's admissible region, so
-  // concurrent hand-downs cannot over-admit it.
+  // carrier.  Forward bursts price carriers by the primary cell's PA load;
+  // reverse bursts weight the rise over the FULL reduced set (gain-weighted
+  // mean), because a reverse burst raises interference at every soft-
+  // hand-off leg -- picking by the primary cell alone walks into carriers
+  // whose secondary-leg rise is already at the cap (rise asymmetry).
+  // Requests sharing a target are re-priced JOINTLY on that carrier's
+  // admissible region, so concurrent hand-downs cannot over-admit it.
   std::map<int, std::vector<std::size_t>> by_target;
   for (std::size_t j = 0; j < round.size(); ++j) {
     if (alloc.m[j] > 0) continue;
@@ -143,9 +147,18 @@ std::vector<PolicyGrant> HandDownPolicy::decide(const FrameContext& ctx,
     double best_load = 0.0;
     for (int c = 0; c < ctx.carriers; ++c) {
       if (c == carrier) continue;
-      const double load = direction == mac::LinkDirection::kForward
-                              ? ctx.forward_load(primary, c)
-                              : ctx.reverse_interference(primary, c);
+      double load = 0.0;
+      if (direction == mac::LinkDirection::kForward) {
+        load = ctx.forward_load(primary, c);
+      } else {
+        double weighted = 0.0, weight_sum = 0.0;
+        for (const auto& [cell, gain] : r.reduced_set) {
+          weighted += gain * ctx.reverse_interference(cell, c);
+          weight_sum += gain;
+        }
+        load = weight_sum > 0.0 ? weighted / weight_sum
+                                : ctx.reverse_interference(primary, c);
+      }
       if (target < 0 || load < best_load) {
         target = c;
         best_load = load;

@@ -1,6 +1,7 @@
 #include "src/cell/active_set.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/assert.hpp"
 
@@ -8,6 +9,8 @@ namespace wcdma::cell {
 
 ActiveSet::ActiveSet(const ActiveSetConfig& config, std::size_t num_cells)
     : config_(config),
+      t_add_linear_(std::pow(10.0, config.t_add_db / 10.0)),
+      t_drop_linear_(std::pow(10.0, config.t_drop_db / 10.0)),
       last_pilot_db_(num_cells, -999.0),
       below_drop_s_(num_cells, 0.0) {
   WCDMA_ASSERT(config_.max_size >= 1);
@@ -15,15 +18,12 @@ ActiveSet::ActiveSet(const ActiveSetConfig& config, std::size_t num_cells)
   WCDMA_ASSERT(config_.t_add_db >= config_.t_drop_db);
 }
 
-void ActiveSet::update(const std::vector<double>& pilot_ec_io_db, double dt) {
-  WCDMA_ASSERT(pilot_ec_io_db.size() == last_pilot_db_.size());
-  last_pilot_db_ = pilot_ec_io_db;
-
-  // Drop phase: members below T_DROP for longer than the drop timer leave.
-  std::vector<std::size_t> kept;
-  kept.reserve(members_.size());
+void ActiveSet::drop_phase(double t_drop, double dt) {
+  // Members below T_DROP for longer than the drop timer leave.  In-place
+  // compaction keeps member order and avoids a per-update allocation.
+  std::size_t kept = 0;
   for (std::size_t cell : members_) {
-    if (pilot_ec_io_db[cell] < config_.t_drop_db) {
+    if (last_pilot_db_[cell] < t_drop) {
       below_drop_s_[cell] += dt;
       if (below_drop_s_[cell] >= config_.drop_timer_s) {
         below_drop_s_[cell] = 0.0;
@@ -32,90 +32,20 @@ void ActiveSet::update(const std::vector<double>& pilot_ec_io_db, double dt) {
     } else {
       below_drop_s_[cell] = 0.0;
     }
-    kept.push_back(cell);
+    members_[kept++] = cell;
   }
-  members_ = std::move(kept);
-
-  // Add phase: non-members above T_ADD, strongest first, until max_size.
-  std::vector<std::size_t> candidates;
-  for (std::size_t cell = 0; cell < pilot_ec_io_db.size(); ++cell) {
-    if (pilot_ec_io_db[cell] >= config_.t_add_db && !contains(cell)) {
-      candidates.push_back(cell);
-    }
-  }
-  std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
-    return pilot_ec_io_db[a] > pilot_ec_io_db[b];
-  });
-  for (std::size_t cell : candidates) {
-    if (members_.size() >= config_.max_size) {
-      // Replace the weakest member if the candidate is stronger.
-      auto weakest = std::min_element(
-          members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
-            return pilot_ec_io_db[a] < pilot_ec_io_db[b];
-          });
-      if (pilot_ec_io_db[cell] > pilot_ec_io_db[*weakest]) {
-        *weakest = cell;
-      }
-      continue;
-    }
-    members_.push_back(cell);
-  }
-
-  // Never run empty: latch onto the strongest pilot regardless of T_ADD so
-  // a mobile always has a serving cell.
-  if (members_.empty()) {
-    std::size_t best = 0;
-    for (std::size_t cell = 1; cell < pilot_ec_io_db.size(); ++cell) {
-      if (pilot_ec_io_db[cell] > pilot_ec_io_db[best]) best = cell;
-    }
-    members_.push_back(best);
-  }
-
-  std::sort(members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
-    return last_pilot_db_[a] > last_pilot_db_[b];
-  });
-  initialised_ = true;
+  members_.resize(kept);
 }
 
-void ActiveSet::update_sparse(const std::vector<std::pair<std::size_t, double>>& pilots,
-                              double floor_db, double dt) {
-  // The implicit floor must sit below the drop threshold, or unreported
-  // cells could not be treated as absent.
-  WCDMA_ASSERT(floor_db < config_.t_drop_db);
-  for (const auto& [cell, db] : pilots) {
-    WCDMA_ASSERT(cell < last_pilot_db_.size());
-    last_pilot_db_[cell] = db;
-  }
-
-  // Drop phase: members are always among the reported cells (the culled
-  // provider keeps active-set members candidates until hand-off drops
-  // them), so their slots in last_pilot_db_ are fresh.
-  std::vector<std::size_t> kept;
-  kept.reserve(members_.size());
-  for (std::size_t cell : members_) {
-    if (last_pilot_db_[cell] < config_.t_drop_db) {
-      below_drop_s_[cell] += dt;
-      if (below_drop_s_[cell] >= config_.drop_timer_s) {
-        below_drop_s_[cell] = 0.0;
-        continue;  // dropped
-      }
-    } else {
-      below_drop_s_[cell] = 0.0;
-    }
-    kept.push_back(cell);
-  }
-  members_ = std::move(kept);
-
-  // Add phase over the reported cells only: unreported cells sit at the
-  // floor, below T_ADD by construction.
-  std::vector<std::size_t> candidates;
-  for (const auto& [cell, db] : pilots) {
-    if (db >= config_.t_add_db && !contains(cell)) candidates.push_back(cell);
-  }
-  std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
-    return last_pilot_db_[a] > last_pilot_db_[b];
-  });
-  for (std::size_t cell : candidates) {
+void ActiveSet::add_phase() {
+  // Candidates (gathered by the caller into candidates_scratch_) join
+  // strongest first until max_size; beyond that they displace the weakest
+  // member when stronger.
+  std::sort(candidates_scratch_.begin(), candidates_scratch_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return last_pilot_db_[a] > last_pilot_db_[b];
+            });
+  for (std::size_t cell : candidates_scratch_) {
     if (members_.size() >= config_.max_size) {
       auto weakest = std::min_element(
           members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
@@ -128,6 +58,65 @@ void ActiveSet::update_sparse(const std::vector<std::pair<std::size_t, double>>&
     }
     members_.push_back(cell);
   }
+}
+
+void ActiveSet::finish_update() {
+  std::sort(members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
+    return last_pilot_db_[a] > last_pilot_db_[b];
+  });
+  initialised_ = true;
+}
+
+void ActiveSet::update(const std::vector<double>& pilot_ec_io_db, double dt) {
+  WCDMA_ASSERT(pilot_ec_io_db.size() == last_pilot_db_.size());
+  last_pilot_db_ = pilot_ec_io_db;
+
+  drop_phase(config_.t_drop_db, dt);
+
+  // Add phase: non-members above T_ADD, strongest first, until max_size.
+  candidates_scratch_.clear();
+  for (std::size_t cell = 0; cell < pilot_ec_io_db.size(); ++cell) {
+    if (pilot_ec_io_db[cell] >= config_.t_add_db && !contains(cell)) {
+      candidates_scratch_.push_back(cell);
+    }
+  }
+  add_phase();
+
+  // Never run empty: latch onto the strongest pilot regardless of T_ADD so
+  // a mobile always has a serving cell.
+  if (members_.empty()) {
+    std::size_t best = 0;
+    for (std::size_t cell = 1; cell < pilot_ec_io_db.size(); ++cell) {
+      if (pilot_ec_io_db[cell] > pilot_ec_io_db[best]) best = cell;
+    }
+    members_.push_back(best);
+  }
+
+  finish_update();
+}
+
+void ActiveSet::update_sparse(const std::vector<std::pair<std::size_t, double>>& pilots,
+                              double floor_db, double dt) {
+  // The implicit floor must sit below the drop threshold, or unreported
+  // cells could not be treated as absent.
+  WCDMA_ASSERT(floor_db < config_.t_drop_db);
+  for (const auto& [cell, db] : pilots) {
+    WCDMA_ASSERT(cell < last_pilot_db_.size());
+    last_pilot_db_[cell] = db;
+  }
+
+  // Members are always among the reported cells (the culled provider keeps
+  // active-set members candidates until hand-off drops them), so their
+  // slots in last_pilot_db_ are fresh.
+  drop_phase(config_.t_drop_db, dt);
+
+  // Add phase over the reported cells only: unreported cells sit at the
+  // floor, below T_ADD by construction.
+  candidates_scratch_.clear();
+  for (const auto& [cell, db] : pilots) {
+    if (db >= config_.t_add_db && !contains(cell)) candidates_scratch_.push_back(cell);
+  }
+  add_phase();
 
   // Never run empty: latch onto the strongest reported pilot (all real
   // measurements beat the implicit floor).
@@ -140,15 +129,34 @@ void ActiveSet::update_sparse(const std::vector<std::pair<std::size_t, double>>&
   }
   WCDMA_ASSERT(!members_.empty());
 
-  std::sort(members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
-    return last_pilot_db_[a] > last_pilot_db_[b];
-  });
-  initialised_ = true;
+  finish_update();
 }
 
-std::size_t ActiveSet::primary() const {
-  WCDMA_ASSERT(initialised_ && !members_.empty());
-  return members_.front();
+void ActiveSet::update_sparse_linear(
+    const std::vector<std::pair<std::size_t, double>>& pilots, double dt) {
+  for (const auto& [cell, pilot] : pilots) {
+    WCDMA_ASSERT(cell < last_pilot_db_.size());
+    last_pilot_db_[cell] = pilot;
+  }
+
+  drop_phase(t_drop_linear_, dt);
+
+  candidates_scratch_.clear();
+  for (const auto& [cell, pilot] : pilots) {
+    if (pilot >= t_add_linear_ && !contains(cell)) candidates_scratch_.push_back(cell);
+  }
+  add_phase();
+
+  if (members_.empty() && !pilots.empty()) {
+    std::size_t best = pilots.front().first;
+    for (const auto& [cell, pilot] : pilots) {
+      if (pilot > last_pilot_db_[best]) best = cell;
+    }
+    members_.push_back(best);
+  }
+  WCDMA_ASSERT(!members_.empty());
+
+  finish_update();
 }
 
 std::vector<std::size_t> ActiveSet::reduced() const {

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/assert.hpp"
+
 namespace wcdma::cell {
 
 struct ActiveSetConfig {
@@ -39,15 +41,37 @@ class ActiveSet {
   void update_sparse(const std::vector<std::pair<std::size_t, double>>& pilots,
                      double floor_db, double dt);
 
+  /// update_sparse() with *linear* pilot Ec/Io values compared against the
+  /// pre-converted linear thresholds, skipping the per-cell dB conversion
+  /// entirely (the hot-path variant).  All decisions -- add/drop thresholds,
+  /// strongest-first ordering, drop timers -- are order statistics, and
+  /// x -> 10 log10(x) is strictly monotone, so the resulting hand-off
+  /// trajectories match update_sparse() on the dB values of the same
+  /// pilots.  A caller must stick to one domain (dB or linear) for the
+  /// lifetime of the set; the simulator uses this variant for the culled
+  /// provider and the dB variants for the exhaustive (golden) path.
+  void update_sparse_linear(const std::vector<std::pair<std::size_t, double>>& pilots,
+                            double dt);
+
   /// Cells currently in the FCH active set (sorted by descending pilot).
   const std::vector<std::size_t>& members() const { return members_; }
 
   /// Strongest-pilot member (the serving cell).  Valid after first update.
-  std::size_t primary() const;
+  std::size_t primary() const {
+    WCDMA_DEBUG_ASSERT(initialised_ && !members_.empty());
+    return members_.front();
+  }
 
   /// The reduced active set for SCH assignment: up to `reduced_size`
   /// strongest members.
   std::vector<std::size_t> reduced() const;
+
+  /// Allocation-free reduced-set view: members() is sorted strongest-first,
+  /// so the reduced set is its first reduced_count() entries.
+  std::size_t reduced_count() const {
+    return members_.size() < config_.reduced_size ? members_.size()
+                                                  : config_.reduced_size;
+  }
 
   bool contains(std::size_t cell) const;
 
@@ -61,10 +85,19 @@ class ActiveSet {
   double reverse_adjustment() const;
 
  private:
+  void drop_phase(double t_drop, double dt);
+  void add_phase();
+  void finish_update();
+
   ActiveSetConfig config_;
+  double t_add_linear_ = 0.0;   // 10^(t_add_db / 10), for the linear variant
+  double t_drop_linear_ = 0.0;  // 10^(t_drop_db / 10)
+  /// Last reported pilot per cell, in whichever domain the caller feeds
+  /// (dB for update()/update_sparse(), linear for update_sparse_linear()).
   std::vector<double> last_pilot_db_;
   std::vector<double> below_drop_s_;  // time spent below t_drop per member
   std::vector<std::size_t> members_;
+  std::vector<std::size_t> candidates_scratch_;  // reused across updates
   bool initialised_ = false;
 };
 

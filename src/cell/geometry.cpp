@@ -7,9 +7,6 @@
 
 namespace wcdma::cell {
 
-double norm(Point p) { return std::hypot(p.x, p.y); }
-double distance(Point a, Point b) { return norm(a - b); }
-
 std::size_t hex_cell_count(int rings) {
   WCDMA_ASSERT(rings >= 0);
   return 1 + 3 * static_cast<std::size_t>(rings) * (static_cast<std::size_t>(rings) + 1);
@@ -53,20 +50,27 @@ HexLayout::HexLayout(const HexLayoutConfig& config) : config_(config) {
       translations_.push_back({u.x * c - u.y * sn, u.x * sn + u.y * c});
     }
   }
+
+  // Flatten (cell x image) centre positions for the hot distance path.
+  images_per_cell_ = 1 + translations_.size();
+  images_.reserve(centers_.size() * images_per_cell_);
+  for (const Point& c : centers_) {
+    images_.push_back(c);
+    for (const Point& t : translations_) images_.push_back(c + t);
+  }
+
+  // |p - (c + t)| >= |t| - |p - c|, so when |p - c| < min|t| / 2 the direct
+  // image is strictly the nearest and the mirror scan can be skipped.
+  near_field_sq_ = std::numeric_limits<double>::infinity();
+  for (const Point& t : translations_) {
+    const double half = norm(t) / 2.0;
+    near_field_sq_ = std::min(near_field_sq_, half * half);
+  }
 }
 
 Point HexLayout::center(std::size_t k) const {
   WCDMA_ASSERT(k < centers_.size());
   return centers_[k];
-}
-
-double HexLayout::distance_to_cell(Point p, std::size_t k) const {
-  WCDMA_ASSERT(k < centers_.size());
-  double best = distance(p, centers_[k]);
-  for (const Point& t : translations_) {
-    best = std::min(best, distance(p, centers_[k] + t));
-  }
-  return best;
 }
 
 std::size_t HexLayout::nearest_cell(Point p) const {

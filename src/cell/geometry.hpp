@@ -7,8 +7,11 @@
 // the minimum over the identity and six mirror-cluster translations.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
+
+#include "src/common/assert.hpp"
 
 namespace wcdma::cell {
 
@@ -21,8 +24,8 @@ inline Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
 inline Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
 inline Point operator*(double s, Point p) { return {s * p.x, s * p.y}; }
 
-double norm(Point p);
-double distance(Point a, Point b);
+inline double norm(Point p) { return std::hypot(p.x, p.y); }
+inline double distance(Point a, Point b) { return norm(a - b); }
 
 struct HexLayoutConfig {
   int rings = 2;            // 0 -> 1 cell, 1 -> 7, 2 -> 19
@@ -43,8 +46,33 @@ class HexLayout {
   double cell_radius_m() const { return config_.cell_radius_m; }
 
   /// Distance from `p` to the centre of cell `k`, minimised over the
-  /// wrap-around images when enabled.
-  double distance_to_cell(Point p, std::size_t k) const;
+  /// wrap-around images when enabled.  The nearest image is selected by
+  /// squared distance (multiply-adds only) over the precomputed image table;
+  /// the final metric distance is one hypot on the winner, matching the
+  /// legacy min-over-hypot evaluation.
+  double distance_to_cell(Point p, std::size_t k) const {
+    WCDMA_DEBUG_ASSERT(k < centers_.size());
+    const Point* images = &images_[k * images_per_cell_];
+    double dx = p.x - images[0].x;
+    double dy = p.y - images[0].y;
+    double best_sq = dx * dx + dy * dy;
+    // Near-field shortcut: when the direct distance is under half the
+    // closest wrap translation, the triangle inequality guarantees every
+    // mirror image is strictly farther -- no need to scan them.
+    if (best_sq < near_field_sq_) return metric_distance(dx, dy);
+    double best_dx = dx, best_dy = dy;
+    for (std::size_t i = 1; i < images_per_cell_; ++i) {
+      dx = p.x - images[i].x;
+      dy = p.y - images[i].y;
+      const double sq = dx * dx + dy * dy;
+      if (sq < best_sq) {
+        best_sq = sq;
+        best_dx = dx;
+        best_dy = dy;
+      }
+    }
+    return metric_distance(best_dx, best_dy);
+  }
 
   /// Index of the nearest cell (wrap-aware).
   std::size_t nearest_cell(Point p) const;
@@ -59,9 +87,17 @@ class HexLayout {
   const std::vector<Point>& wrap_translations() const { return translations_; }
 
  private:
+  static double metric_distance(double dx, double dy) { return std::hypot(dx, dy); }
+
   HexLayoutConfig config_;
   std::vector<Point> centers_;
   std::vector<Point> translations_;  // identity excluded
+  /// Flattened wrap-image table: cell k's images (identity first) occupy
+  /// images_[k * images_per_cell_ .. + images_per_cell_).
+  std::vector<Point> images_;
+  std::size_t images_per_cell_ = 1;
+  /// (min wrap-translation length / 2)^2; +inf without wrap-around.
+  double near_field_sq_ = 0.0;
 };
 
 }  // namespace wcdma::cell

@@ -57,14 +57,15 @@ Ar1Fading::Ar1Fading(double doppler_hz, double dt_nominal, common::Rng rng)
     : doppler_hz_(doppler_hz),
       dt_nominal_(dt_nominal),
       rho_(correlation(doppler_hz, dt_nominal)),
+      innovation_(std::sqrt(std::max(0.0, 1.0 - rho_ * rho_) * 0.5)),
       rng_(rng) {
   // Stationary start: h ~ CN(0, 1).
   h_ = {rng_.normal(0.0, std::sqrt(0.5)), rng_.normal(0.0, std::sqrt(0.5))};
 }
 
 double Ar1Fading::step(double dt) {
-  double rho = rho_;
-  if (dt != dt_nominal_) rho = correlation(doppler_hz_, dt);
+  if (dt == dt_nominal_) return step_nominal();
+  const double rho = correlation(doppler_hz_, dt);
   const double innov = std::sqrt(std::max(0.0, 1.0 - rho * rho) * 0.5);
   h_ = {rho * h_.real() + rng_.normal(0.0, innov),
         rho * h_.imag() + rng_.normal(0.0, innov)};

@@ -59,6 +59,14 @@ class Ar1Fading final : public FadingProcess {
   double step(double dt) override;
   double power_gain() const override;
 
+  /// step(dt_nominal) without the per-step innovation sqrt: the coefficient
+  /// pair is cached at construction.  Bit-identical to step(dt_nominal).
+  double step_nominal() {
+    h_ = {rho_ * h_.real() + rng_.normal(0.0, innovation_),
+          rho_ * h_.imag() + rng_.normal(0.0, innovation_)};
+    return std::norm(h_);
+  }
+
   /// AR(1) coefficient for lag dt: rho = J0(2 pi fd dt), floored at 0.
   static double correlation(double doppler_hz, double dt);
 
@@ -66,6 +74,7 @@ class Ar1Fading final : public FadingProcess {
   double doppler_hz_;
   double dt_nominal_;
   double rho_;
+  double innovation_;  // innovation sigma at dt_nominal (cached)
   common::Rng rng_;
   std::complex<double> h_;
 };

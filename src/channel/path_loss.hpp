@@ -3,7 +3,12 @@
 // Section 3.1 of the paper relies on path-loss *symmetry* between forward
 // and reverse links (Eq. 13-14) to project neighbour-cell interference from
 // forward pilot measurements; these models are therefore direction-free.
+// Evaluators are header-inline: the simulator calls them once per live link
+// per frame, where the out-of-line call was measurable.
 #pragma once
+
+#include <algorithm>
+#include <cmath>
 
 namespace wcdma::channel {
 
@@ -29,10 +34,27 @@ class PathLoss {
   explicit PathLoss(const PathLossConfig& config = {});
 
   /// Path loss in dB at distance `d_m` metres (clamped to min_distance_m).
-  double loss_db(double d_m) const;
+  double loss_db(double d_m) const {
+    const double d = std::max(d_m, config_.min_distance_m);
+    switch (config_.kind) {
+      case PathLossModelKind::kLogDistance:
+        return config_.reference_db +
+               10.0 * config_.exponent * std::log10(d / config_.reference_distance_m);
+      case PathLossModelKind::k3gppMacro:
+        return 128.1 + 37.6 * std::log10(d / 1000.0);
+      case PathLossModelKind::kCost231Hata: {
+        // Urban macro at fc = 2000 MHz, hb = 32 m, hm = 1.5 m, large city.
+        const double fc = 2000.0, hb = 32.0, hm = 1.5;
+        const double a_hm = 3.2 * std::pow(std::log10(11.75 * hm), 2.0) - 4.97;
+        return 46.3 + 33.9 * std::log10(fc) - 13.82 * std::log10(hb) - a_hm +
+               (44.9 - 6.55 * std::log10(hb)) * std::log10(d / 1000.0) + 3.0;
+      }
+    }
+    return 0.0;  // unreachable
+  }
 
   /// Linear channel power *gain* (= 10^(-loss/10)), always in (0, 1].
-  double gain_linear(double d_m) const;
+  double gain_linear(double d_m) const { return std::pow(10.0, -loss_db(d_m) / 10.0); }
 
   const PathLossConfig& config() const { return config_; }
 

@@ -25,6 +25,20 @@ class Shadowing {
   /// the new shadowing value in dB.
   double step(double moved_m);
 
+  /// AR(1) coefficient for `moved_m` metres of travel under `config`:
+  /// rho = exp(-|moved_m| / d_corr).  Exposed so callers stepping many links
+  /// of one mobile can evaluate the exp/sqrt pair once per mobile.
+  static double correlation(const ShadowingConfig& config, double moved_m);
+  /// Innovation standard deviation paired with `rho` (variance-preserving).
+  static double innovation_sigma(const ShadowingConfig& config, double rho);
+
+  /// step() with the (rho, innovation_sigma) pair precomputed via the
+  /// helpers above; bit-identical to step(moved_m) for matching inputs.
+  double step_with(double rho, double innovation_sigma) {
+    value_db_ = rho * value_db_ + rng_.normal(0.0, innovation_sigma);
+    return value_db_;
+  }
+
   /// Current value in dB (initially a fresh N(0, sigma) draw).
   double value_db() const { return value_db_; }
 

@@ -6,14 +6,6 @@
 
 namespace wcdma::common {
 
-namespace {
-
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 std::uint64_t SplitMix64::next() {
   std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -31,31 +23,10 @@ Rng::Rng(std::uint64_t seed) {
 Rng Rng::fork(std::uint64_t stream) const {
   // Mix the child stream index into the parent state through SplitMix64 so
   // that fork(a) and fork(b) are decorrelated even for adjacent indices.
-  SplitMix64 sm(s_[0] ^ rotl(s_[3], 17) ^ (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+  SplitMix64 sm(s_[0] ^ detail::rotl64(s_[3], 17) ^
+                (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
   Rng child(sm.next());
   return child;
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high bits -> double in [0,1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  WCDMA_DEBUG_ASSERT(hi >= lo);
-  return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t Rng::uniform_int(std::uint64_t n) {
@@ -67,25 +38,6 @@ std::uint64_t Rng::uniform_int(std::uint64_t n) {
     if (r >= threshold) return r % n;
   }
 }
-
-double Rng::normal() {
-  if (has_spare_) {
-    has_spare_ = false;
-    return spare_normal_;
-  }
-  double u, v, s;
-  do {
-    u = uniform(-1.0, 1.0);
-    v = uniform(-1.0, 1.0);
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double f = std::sqrt(-2.0 * std::log(s) / s);
-  spare_normal_ = v * f;
-  has_spare_ = true;
-  return u * f;
-}
-
-double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
 
 double Rng::exponential(double mean) {
   WCDMA_DEBUG_ASSERT(mean > 0.0);

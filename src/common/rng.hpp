@@ -8,10 +8,19 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "src/common/assert.hpp"
+
 namespace wcdma::common {
+
+namespace detail {
+inline std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace detail
 
 /// SplitMix64 stream: used to expand a master seed into independent
 /// sub-seeds.  Deterministic seed derivation, not a statistics-grade
@@ -42,6 +51,8 @@ class Rng {
   static constexpr result_type max() { return ~result_type{0}; }
   result_type operator()() { return next_u64(); }
 
+  // The draw primitives the channel hot loops hit millions of times per
+  // second are defined inline below the class.
   std::uint64_t next_u64();
 
   /// Uniform in [0, 1).
@@ -76,6 +87,49 @@ class Rng {
   double spare_normal_ = 0.0;
   bool has_spare_ = false;
 };
+
+inline std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = detail::rotl64(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = detail::rotl64(s_[3], 45);
+  return result;
+}
+
+inline double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+inline double Rng::uniform(double lo, double hi) {
+  WCDMA_DEBUG_ASSERT(hi >= lo);
+  return lo + (hi - lo) * uniform();
+}
+
+inline double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * f;
+  has_spare_ = true;
+  return u * f;
+}
+
+inline double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
 
 /// Convenience: derive `n` independent seeds from a master seed.
 std::vector<std::uint64_t> derive_seeds(std::uint64_t master, std::size_t n);

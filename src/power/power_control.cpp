@@ -9,6 +9,7 @@ ClosedLoopPowerControl::ClosedLoopPowerControl(const PowerControlConfig& config,
                                                double initial_power_dbm)
     : config_(config),
       power_dbm_(initial_power_dbm),
+      power_watt_(to_watt(initial_power_dbm)),
       target_sir_db_(config.target_sir_db) {
   WCDMA_ASSERT(config_.step_db > 0.0);
   WCDMA_ASSERT(config_.commands_per_frame >= 1);
@@ -21,12 +22,13 @@ double ClosedLoopPowerControl::update(double measured_sir_db) {
   const double correction = std::clamp(error, -max_swing, max_swing);
   power_dbm_ = std::clamp(power_dbm_ + correction, config_.min_power_dbm,
                           config_.max_power_dbm);
+  power_watt_ = to_watt(power_dbm_);
   saturated_ = power_dbm_ >= config_.max_power_dbm - 1e-12;
   return power_dbm_;
 }
 
-double ClosedLoopPowerControl::power_watt() const {
-  return std::pow(10.0, (power_dbm_ - 30.0) / 10.0);
+double ClosedLoopPowerControl::to_watt(double dbm) {
+  return std::pow(10.0, (dbm - 30.0) / 10.0);
 }
 
 OuterLoopPowerControl::OuterLoopPowerControl(double initial_target_db, double fer_target,

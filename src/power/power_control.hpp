@@ -32,7 +32,9 @@ class ClosedLoopPowerControl {
   double update(double measured_sir_db);
 
   double power_dbm() const { return power_dbm_; }
-  double power_watt() const;
+  /// Cached dBm -> W conversion; refreshed whenever power_dbm_ moves, so the
+  /// hot loops that read it several times per frame pay the pow() once.
+  double power_watt() const { return power_watt_; }
   double target_sir_db() const { return target_sir_db_; }
   void set_target_sir_db(double v) { target_sir_db_ = v; }
 
@@ -40,8 +42,11 @@ class ClosedLoopPowerControl {
   bool saturated() const { return saturated_; }
 
  private:
+  static double to_watt(double dbm);
+
   PowerControlConfig config_;
   double power_dbm_;
+  double power_watt_;
   double target_sir_db_;
   bool saturated_ = false;
 };

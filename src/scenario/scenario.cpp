@@ -22,6 +22,7 @@ sim::SystemConfig ScenarioLayout::to_config() const {
   cfg.data.users = data_users;
   cfg.data.mean_reading_s = data_mean_reading_s;
   cfg.data.forward_fraction = data_forward_fraction;
+  cfg.load_ramp = load_ramp;
   cfg.sim_duration_s = sim_duration_s;
   cfg.warmup_s = warmup_s;
   cfg.seed = seed;

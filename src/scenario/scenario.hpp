@@ -43,6 +43,10 @@ struct ScenarioLayout {
   double data_mean_reading_s = 1.5;
   double data_forward_fraction = 0.5;
 
+  /// Time-varying per-cell arrival scaling (flash crowds): passed through
+  /// to SystemConfig.load_ramp.  Disabled by default (peak_scale == 1).
+  sim::LoadRampConfig load_ramp{};
+
   /// Long-horizon run lengths are the default for multi-cell layouts; CI
   /// smoke runs shorten them via sweep_main --duration/--warmup.
   double sim_duration_s = 120.0;

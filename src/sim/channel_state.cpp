@@ -1,8 +1,10 @@
 #include "src/sim/channel_state.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/common/assert.hpp"
+#include "src/sim/frame_state.hpp"
 
 namespace wcdma::sim {
 
@@ -13,36 +15,32 @@ namespace {
 /// bit-identical across the seam.
 class ExhaustiveChannelProvider final : public ChannelStateProvider {
  public:
-  void init(const cell::HexLayout* layout, std::size_t num_users) override {
+  void init(const cell::HexLayout* layout, std::size_t num_users,
+            FrameState* state) override {
     (void)num_users;
-    WCDMA_ASSERT(layout != nullptr);
-    layout_ = layout;
-    all_cells_.resize(layout_->num_cells());
+    WCDMA_ASSERT(layout != nullptr && state != nullptr);
+    state_ = state;
+    all_cells_.resize(layout->num_cells());
     for (std::size_t k = 0; k < all_cells_.size(); ++k) all_cells_[k] = k;
   }
 
   void step_user(std::size_t user, const ChannelUserView& view,
                  double frame_s) override {
-    (void)user;
     const double moved = view.mobility->step(frame_s);
-    const cell::Point pos = view.mobility->position();
-    auto& links = *view.links;
-    for (std::size_t k = 0; k < links.size(); ++k) {
-      links[k].set_distance(layout_->distance_to_cell(pos, k));
-      links[k].step(moved, frame_s);
-      (*view.gain_mean)[k] = links[k].mean_gain();
-      (*view.gain_inst)[k] = links[k].instantaneous_gain();
-    }
+    state_->step_user_links(user, view.mobility->position(), moved,
+                            all_cells_.data(), all_cells_.size());
   }
 
   const std::vector<std::size_t>& cells_for(std::size_t) const override {
     return all_cells_;
   }
 
+  std::uint64_t candidate_epoch() const override { return 0; }
+
   std::string name() const override { return "exhaustive"; }
 
  private:
-  const cell::HexLayout* layout_ = nullptr;
+  FrameState* state_ = nullptr;
   std::vector<std::size_t> all_cells_;
 };
 
@@ -53,12 +51,15 @@ class CulledChannelProvider final : public ChannelStateProvider {
  public:
   explicit CulledChannelProvider(const CsiConfig& csi) : csi_(csi) {}
 
-  void init(const cell::HexLayout* layout, std::size_t num_users) override {
-    WCDMA_ASSERT(layout != nullptr);
+  void init(const cell::HexLayout* layout, std::size_t num_users,
+            FrameState* state) override {
+    WCDMA_ASSERT(layout != nullptr && state != nullptr);
     layout_ = layout;
+    state_ = state;
     radius_m_ = csi_.cull_radius_scale * layout_->cell_radius_m();
     candidates_.assign(num_users, {});
     refresh_left_s_.assign(num_users, 0.0);
+    epoch_.store(1, std::memory_order_relaxed);
   }
 
   void step_user(std::size_t user, const ChannelUserView& view,
@@ -69,17 +70,16 @@ class CulledChannelProvider final : public ChannelStateProvider {
     if (candidates_[user].empty() || refresh_left_s_[user] <= 0.0) {
       refresh(user, pos, view);
     }
-    auto& links = *view.links;
-    for (std::size_t k : candidates_[user]) {
-      links[k].set_distance(layout_->distance_to_cell(pos, k));
-      links[k].step(moved, frame_s);
-      (*view.gain_mean)[k] = links[k].mean_gain();
-      (*view.gain_inst)[k] = links[k].instantaneous_gain();
-    }
+    state_->step_user_links(user, pos, moved, candidates_[user].data(),
+                            candidates_[user].size());
   }
 
   const std::vector<std::size_t>& cells_for(std::size_t user) const override {
     return candidates_[user];
+  }
+
+  std::uint64_t candidate_epoch() const override {
+    return epoch_.load(std::memory_order_relaxed);
   }
 
   std::string name() const override { return "culled"; }
@@ -101,18 +101,20 @@ class CulledChannelProvider final : public ChannelStateProvider {
     // Cells leaving the set must stop contributing to interference sums.
     for (std::size_t k : candidates_[user]) {
       if (!std::binary_search(next.begin(), next.end(), k)) {
-        (*view.gain_mean)[k] = 0.0;
-        (*view.gain_inst)[k] = 0.0;
+        state_->clear_gain(user, k);
       }
     }
+    if (next != candidates_[user]) epoch_.fetch_add(1, std::memory_order_relaxed);
     candidates_[user] = std::move(next);
   }
 
   CsiConfig csi_;
   const cell::HexLayout* layout_ = nullptr;
+  FrameState* state_ = nullptr;
   double radius_m_ = 0.0;
   std::vector<std::vector<std::size_t>> candidates_;
   std::vector<double> refresh_left_s_;
+  std::atomic<std::uint64_t> epoch_{1};
 };
 
 struct ProviderEntry {

@@ -4,20 +4,26 @@
 // The legacy simulator recomputed full O(users x cells) link state every
 // frame -- the exact bottleneck on the path to million-user grids (each
 // link step evolves shadowing and fading state).  A ChannelStateProvider
-// owns (a) how one user's mobility and per-cell links advance each frame
-// and (b) WHICH cells have live link state for that user (the candidate
-// set), so the measurement loops downstream only touch candidate cells.
+// owns (a) how one user's mobility advances each frame and (b) WHICH cells
+// have live link state for that user (the candidate set); the per-link
+// state itself lives in the simulator's structure-of-arrays sim::FrameState,
+// which the provider drives through step_user_links().
 //
 //  * ExhaustiveChannelProvider -- every cell, every frame; the reference
 //    implementation, bit-identical to the pre-seam simulator.
-//  * CulledChannelProvider -- per-user candidate set = active-set members
+//  * CulledChannelProvider -- per-user candidate set = active set members
 //    plus cells within a pilot-floor radius of the user, refreshed on a
 //    slow timer; per-frame link state is O(users x nearby-cells).  Each
 //    link keeps its own RNG stream, so a candidate link's realisation is
 //    identical to the exhaustive provider's for as long as it stays in the
 //    set -- culling only drops far-cell contributions.
+//
+// step_user() is called from the simulator's sharded frame loops and must
+// be safe for concurrent distinct users; candidate_epoch() tells the
+// simulator when to rebuild its CSR candidate indexes.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,29 +31,30 @@
 #include "src/cell/active_set.hpp"
 #include "src/cell/geometry.hpp"
 #include "src/cell/mobility.hpp"
-#include "src/channel/channel.hpp"
 #include "src/sim/config.hpp"
 
 namespace wcdma::sim {
 
-/// Narrow mutable view of one user's channel state inside the simulator.
+class FrameState;
+
+/// Narrow mutable view of one user's channel inputs inside the simulator.
 struct ChannelUserView {
   cell::MobilityModel* mobility = nullptr;
-  std::vector<channel::Link>* links = nullptr;   // one per cell
-  std::vector<double>* gain_mean = nullptr;      // refreshed for candidate cells
-  std::vector<double>* gain_inst = nullptr;
-  const cell::ActiveSet* active_set = nullptr;   // read-only (candidate seeding)
+  const cell::ActiveSet* active_set = nullptr;  // read-only (candidate seeding)
 };
 
 class ChannelStateProvider {
  public:
   virtual ~ChannelStateProvider() = default;
 
-  /// Bound once by the simulator before the first frame.
-  virtual void init(const cell::HexLayout* layout, std::size_t num_users) = 0;
+  /// Bound once by the simulator before the first frame.  `state` is the
+  /// simulator-owned SoA link state the provider steps.
+  virtual void init(const cell::HexLayout* layout, std::size_t num_users,
+                    FrameState* state) = 0;
 
-  /// Advances `user`'s mobility and refreshes gain state for every cell in
-  /// cells_for(user).  Called once per user per frame, in user order.
+  /// Advances `user`'s mobility, maintains its candidate set, and steps the
+  /// FrameState links for every cell in cells_for(user).  Called once per
+  /// user per frame; must be safe for concurrent distinct users.
   virtual void step_user(std::size_t user, const ChannelUserView& view,
                          double frame_s) = 0;
 
@@ -55,6 +62,10 @@ class ChannelStateProvider {
   /// measurement loops (forward interference, pilots, reverse rise) iterate
   /// exactly this set; gains outside it are zero.
   virtual const std::vector<std::size_t>& cells_for(std::size_t user) const = 0;
+
+  /// Monotone counter that moves whenever any user's candidate set changes;
+  /// the simulator rebuilds its CSR/transpose candidate indexes only then.
+  virtual std::uint64_t candidate_epoch() const = 0;
 
   virtual std::string name() const = 0;
 };

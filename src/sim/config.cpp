@@ -1,10 +1,31 @@
 #include "src/sim/config.hpp"
 
+#include <algorithm>
+
 #include "src/admission/policy.hpp"
 #include "src/common/assert.hpp"
 #include "src/sim/channel_state.hpp"
 
 namespace wcdma::sim {
+
+double LoadRampConfig::scale(double now_s, std::size_t cell) const {
+  if (!enabled()) return 1.0;
+  const double t = now_s - start_s;
+  double shape = 0.0;
+  if (t >= 0.0) {
+    if (t < rise_s) {
+      shape = t / rise_s;
+    } else if (t < rise_s + hold_s) {
+      shape = 1.0;
+    } else if (t < rise_s + hold_s + fall_s) {
+      shape = 1.0 - (t - rise_s - hold_s) / fall_s;
+    }
+  }
+  if (shape <= 0.0) return 1.0;
+  const double blend =
+      cell_weights.empty() ? 1.0 : cell_weights[std::min(cell, cell_weights.size() - 1)];
+  return 1.0 + (peak_scale - 1.0) * shape * blend;
+}
 
 const SystemConfig& SystemConfig::validate() const {
   if (!admission.policy.empty()) {
@@ -25,6 +46,15 @@ const SystemConfig& SystemConfig::validate() const {
   WCDMA_ASSERT(admission.min_burst_s >= frame_s);
   WCDMA_ASSERT(placement.carriers >= 1);
   WCDMA_ASSERT(placement.home_radius_scale > 0.0);
+  WCDMA_ASSERT(sim_threads >= 0);
+  WCDMA_ASSERT(load_ramp.peak_scale > 0.0);
+  WCDMA_ASSERT(load_ramp.rise_s >= 0.0 && load_ramp.hold_s >= 0.0 &&
+               load_ramp.fall_s >= 0.0);
+  if (load_ramp.enabled() && !load_ramp.cell_weights.empty()) {
+    WCDMA_ASSERT(load_ramp.cell_weights.size() == cell::hex_cell_count(layout.rings) &&
+                 "one load-ramp weight per layout cell");
+    for (double w : load_ramp.cell_weights) WCDMA_ASSERT(w >= 0.0);
+  }
   if (!placement.cell_weights.empty()) {
     WCDMA_ASSERT(placement.cell_weights.size() == cell::hex_cell_count(layout.rings) &&
                  "one placement weight per layout cell");

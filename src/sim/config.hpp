@@ -106,6 +106,26 @@ struct PlacementConfig {
   int carriers = 1;
 };
 
+/// Time-varying per-cell arrival scaling (flash crowds).  A trapezoidal
+/// pulse multiplies the data-burst arrival intensity of users homed in the
+/// ramped cells: 1 before `start_s`, linear rise to `peak_scale` over
+/// `rise_s`, flat for `hold_s`, linear decay back to 1 over `fall_s`.
+/// `cell_weights` blends the pulse per home cell (1 = full pulse, 0 =
+/// unaffected); empty applies it everywhere.  peak_scale == 1 disables the
+/// ramp entirely (the default path is untouched).
+struct LoadRampConfig {
+  double peak_scale = 1.0;
+  double start_s = 0.0;
+  double rise_s = 0.0;
+  double hold_s = 0.0;
+  double fall_s = 0.0;
+  std::vector<double> cell_weights;
+
+  bool enabled() const { return peak_scale != 1.0; }
+  /// Arrival-intensity multiplier for a user homed in `cell` at `now_s`.
+  double scale(double now_s, std::size_t cell) const;
+};
+
 /// Channel-state (CSI) computation backend: which cells get live link state
 /// each frame.  "exhaustive" is the bit-identical reference; "culled" keeps
 /// a per-user candidate-cell set (active set + pilot-floor radius) on a
@@ -125,6 +145,12 @@ struct SystemConfig {
   double frame_s = 0.020;
   double sim_duration_s = 120.0;
   double warmup_s = 10.0;
+  /// Worker threads for the intra-frame loops (channel stepping, forward
+  /// measurements, reverse-rise gather).  1 = sequential (the default),
+  /// 0 = hardware concurrency.  Results are bit-identical for every value:
+  /// the sharded loops carry no cross-user accumulators and the reverse
+  /// rise is a per-station gather in ascending user order.
+  int sim_threads = 1;
 
   cell::HexLayoutConfig layout{};          // 19 cells by default
   cell::MobilityConfig mobility{};
@@ -143,6 +169,7 @@ struct SystemConfig {
   AdmissionScenario admission{};
   mac::MacTimersConfig mac_timers{};
   CsiConfig csi{};
+  LoadRampConfig load_ramp{};
 
   /// Aborts on invalid combinations; returns *this for chaining.
   const SystemConfig& validate() const;

@@ -1,0 +1,157 @@
+#include "src/sim/frame_state.hpp"
+
+#include <cmath>
+
+#include "src/sim/channel_state.hpp"
+
+namespace wcdma::sim {
+
+void FrameState::init(const cell::HexLayout* layout, const channel::PathLoss* path_loss,
+                      const channel::ShadowingConfig& shadowing,
+                      channel::FadingKind fading, double frame_s, int jakes_paths,
+                      std::size_t num_users) {
+  WCDMA_ASSERT(layout != nullptr && path_loss != nullptr);
+  layout_ = layout;
+  path_loss_ = path_loss;
+  shadowing_ = shadowing;
+  fading_kind_ = fading;
+  frame_s_ = frame_s;
+  jakes_paths_ = jakes_paths;
+  num_users_ = num_users;
+  num_cells_ = layout->num_cells();
+  frame_ = 0;
+
+  const std::size_t links = num_users_ * num_cells_;
+  shadow_rng_.resize(links);
+  shadow_db_.assign(links, 0.0);
+  gain_mean_.assign(links, 0.0);
+  pilot_fl_.assign(links, 0.0);
+  if (fading_kind_ == channel::FadingKind::kAr1) {
+    fade_rng_.resize(links);
+    fade_re_.assign(links, 0.0);
+    fade_im_.assign(links, 0.0);
+    fade_frame_.assign(links, 0);
+    fade_rho_.assign(num_users_, 0.0);
+    fade_innovation_.assign(num_users_, 0.0);
+  } else if (fading_kind_ == channel::FadingKind::kJakes) {
+    jakes_.clear();
+    jakes_.reserve(links);
+    jakes_frame_.assign(links, 0);
+  }
+  candidate_epoch_ = ~std::uint64_t{0};
+}
+
+void FrameState::init_user(std::size_t user, const common::Rng& user_rng,
+                           double doppler_hz) {
+  // Stream discipline mirrors the legacy Link construction: link (user, k)
+  // derives user_rng.fork(100 + k); its shadowing process consumes fork(1)
+  // (one initial N(0, sigma) draw), its fading process fork(2).
+  if (fading_kind_ == channel::FadingKind::kAr1) {
+    const double rho = channel::Ar1Fading::correlation(doppler_hz, frame_s_);
+    fade_rho_[user] = rho;
+    fade_innovation_[user] = std::sqrt(std::max(0.0, 1.0 - rho * rho) * 0.5);
+  }
+  for (std::size_t k = 0; k < num_cells_; ++k) {
+    const std::size_t idx = link_index(user, k);
+    const common::Rng link_rng = user_rng.fork(100 + k);
+    common::Rng srng = link_rng.fork(1);
+    shadow_db_[idx] = srng.normal(0.0, shadowing_.sigma_db);
+    shadow_rng_[idx] = srng;
+    switch (fading_kind_) {
+      case channel::FadingKind::kAr1: {
+        common::Rng frng = link_rng.fork(2);
+        // Stationary start h ~ CN(0, 1), drawn exactly as Ar1Fading's ctor.
+        fade_re_[idx] = frng.normal(0.0, std::sqrt(0.5));
+        fade_im_[idx] = frng.normal(0.0, std::sqrt(0.5));
+        fade_rng_[idx] = frng;
+        fade_frame_[idx] = 0;
+        break;
+      }
+      case channel::FadingKind::kJakes:
+        WCDMA_ASSERT(jakes_.size() == idx && "init_user must run in user order");
+        jakes_.emplace_back(doppler_hz, link_rng.fork(2), jakes_paths_);
+        jakes_frame_[idx] = 0;
+        break;
+      case channel::FadingKind::kNone:
+        break;
+    }
+  }
+}
+
+void FrameState::step_user_links(std::size_t user, cell::Point pos, double moved_m,
+                                 const std::size_t* cells, std::size_t count) {
+  // One exp/sqrt pair per user: every link of a mobile travels the same
+  // distance this frame (bit-identical to the per-link evaluation).
+  const double rho = channel::Shadowing::correlation(shadowing_, moved_m);
+  const double innovation = channel::Shadowing::innovation_sigma(shadowing_, rho);
+  const std::size_t row = user * num_cells_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t k = cells[i];
+    const std::size_t idx = row + k;
+    const double d = layout_->distance_to_cell(pos, k);
+    shadow_db_[idx] = rho * shadow_db_[idx] + shadow_rng_[idx].normal(0.0, innovation);
+    gain_mean_[idx] =
+        path_loss_->gain_linear(d) * std::pow(10.0, shadow_db_[idx] / 10.0);
+  }
+}
+
+double FrameState::fading_factor(std::size_t user, std::size_t cell) {
+  const std::size_t idx = link_index(user, cell);
+  switch (fading_kind_) {
+    case channel::FadingKind::kAr1: {
+      const double rho = fade_rho_[user];
+      const double innovation = fade_innovation_[user];
+      double re = fade_re_[idx], im = fade_im_[idx];
+      common::Rng& rng = fade_rng_[idx];
+      for (std::int64_t f = fade_frame_[idx]; f < frame_; ++f) {
+        re = rho * re + rng.normal(0.0, innovation);
+        im = rho * im + rng.normal(0.0, innovation);
+      }
+      fade_re_[idx] = re;
+      fade_im_[idx] = im;
+      fade_frame_[idx] = frame_;
+      return re * re + im * im;
+    }
+    case channel::FadingKind::kJakes: {
+      channel::JakesFading& j = jakes_[idx];
+      for (std::int64_t f = jakes_frame_[idx]; f < frame_; ++f) j.step(frame_s_);
+      jakes_frame_[idx] = frame_;
+      return j.power_gain();
+    }
+    case channel::FadingKind::kNone:
+      return 1.0;
+  }
+  return 1.0;  // unreachable
+}
+
+void FrameState::refresh_candidate_index(const ChannelStateProvider& provider) {
+  if (provider.candidate_epoch() == candidate_epoch_) return;
+  candidate_epoch_ = provider.candidate_epoch();
+
+  csr_offsets_.assign(num_users_ + 1, 0);
+  csr_cells_.clear();
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    for (std::size_t k : provider.cells_for(u)) {
+      csr_cells_.push_back(static_cast<std::uint32_t>(k));
+    }
+    csr_offsets_[u + 1] = static_cast<std::uint32_t>(csr_cells_.size());
+  }
+
+  // Transpose via counting sort: per-cell user lists come out ascending
+  // because the forward pass visits users in ascending order.
+  transpose_offsets_.assign(num_cells_ + 2, 0);
+  for (std::uint32_t k : csr_cells_) ++transpose_offsets_[k + 2];
+  for (std::size_t k = 2; k < transpose_offsets_.size(); ++k) {
+    transpose_offsets_[k] += transpose_offsets_[k - 1];
+  }
+  transpose_users_.resize(csr_cells_.size());
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    for (std::uint32_t o = csr_offsets_[u]; o < csr_offsets_[u + 1]; ++o) {
+      transpose_users_[transpose_offsets_[csr_cells_[o] + 1]++] =
+          static_cast<std::uint32_t>(u);
+    }
+  }
+  transpose_offsets_.pop_back();
+}
+
+}  // namespace wcdma::sim

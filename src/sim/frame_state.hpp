@@ -1,0 +1,155 @@
+// Structure-of-arrays per-link channel state for the simulator hot path.
+//
+// The legacy frame loop kept each user's link state behind two layers of
+// indirection (Simulator::User -> std::vector<channel::Link> -> heap
+// FadingProcess) and recomputed the composite gain twice per link per frame.
+// FrameState hoists all of it into flat, simulator-owned buffers indexed
+// [user * num_cells + cell], so the measurement loops stream linearly:
+//
+//  * shadowing: per-link (rng, value_db) pairs stepped once per frame for
+//    every candidate cell, with the AR(1) correlation pair hoisted to one
+//    exp/sqrt per *user* (all links of a mobile move together);
+//  * fast fading: per-link AR(1)/Jakes state advanced LAZILY -- the stream
+//    is replayed up to the current frame only when a link's fading factor
+//    is observed (the serving leg of an active burst).  Bit-identical to
+//    stepping every frame because each link owns its RNG stream and only
+//    observed values enter the metrics; candidate links that are never
+//    observed simply never consume their draws.
+//  * local-mean gains and forward pilots: flat double buffers shared by the
+//    interference, pilot, and rise loops.
+//
+// Candidate sets come from the ChannelStateProvider as per-user cell lists;
+// FrameState folds them into a CSR-style (offsets, cells) index plus its
+// transpose (cell -> users), rebuilt only when the provider's candidate
+// epoch moves.  The transpose is what turns the reverse-link rise update
+// from a scatter (racy under sharding) into a deterministic per-station
+// gather in ascending user order.
+//
+// RNG stream discipline matches the legacy per-user Link construction
+// exactly: link (user, cell) forks user_rng.fork(100 + cell), shadowing
+// consumes fork(1), fading fork(2).  Golden tests pin the equivalence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cell/geometry.hpp"
+#include "src/channel/channel.hpp"
+#include "src/channel/fading.hpp"
+#include "src/channel/path_loss.hpp"
+#include "src/channel/shadowing.hpp"
+#include "src/common/assert.hpp"
+#include "src/common/rng.hpp"
+
+namespace wcdma::sim {
+
+class ChannelStateProvider;
+
+class FrameState {
+ public:
+  void init(const cell::HexLayout* layout, const channel::PathLoss* path_loss,
+            const channel::ShadowingConfig& shadowing, channel::FadingKind fading,
+            double frame_s, int jakes_paths, std::size_t num_users);
+
+  /// Builds one user's per-cell link state, consuming `user_rng` streams
+  /// exactly as the legacy per-user std::vector<channel::Link> did.
+  void init_user(std::size_t user, const common::Rng& user_rng, double doppler_hz);
+
+  /// Starts a new frame (advances the lazy-fading clock).  Call once per
+  /// simulator frame before stepping any user.
+  void advance_frame() { ++frame_; }
+
+  /// Steps shadowing and refreshes local-mean gains for the user's
+  /// candidate `cells` after the mobile moved `moved_m` to `pos`.  Safe to
+  /// call concurrently for distinct users.
+  void step_user_links(std::size_t user, cell::Point pos, double moved_m,
+                       const std::size_t* cells, std::size_t count);
+
+  /// Fast-fading power factor of link (user, cell) at the current frame;
+  /// replays the link's fading stream up to the frame clock on demand.
+  double fading_factor(std::size_t user, std::size_t cell);
+
+  double gain_mean(std::size_t user, std::size_t cell) const {
+    return gain_mean_[user * num_cells_ + cell];
+  }
+  const double* gain_mean_row(std::size_t user) const {
+    return &gain_mean_[user * num_cells_];
+  }
+  double pilot_fl(std::size_t user, std::size_t cell) const {
+    return pilot_fl_[user * num_cells_ + cell];
+  }
+  double* pilot_fl_row(std::size_t user) { return &pilot_fl_[user * num_cells_]; }
+
+  /// Zeroes the cached gain of a link leaving a candidate set, so dropped
+  /// cells stop contributing to interference sums.
+  void clear_gain(std::size_t user, std::size_t cell) {
+    gain_mean_[user * num_cells_ + cell] = 0.0;
+  }
+
+  std::size_t num_cells() const { return num_cells_; }
+  std::size_t num_users() const { return num_users_; }
+
+  // --- CSR candidate index (built from the provider's per-user lists) -----
+  /// Rebuilds the CSR candidate index and its transpose if the provider's
+  /// candidate epoch moved since the last build.  Sequential; call between
+  /// the channel and measurement phases.
+  void refresh_candidate_index(const ChannelStateProvider& provider);
+
+  /// Candidate cells of `user` as a contiguous [begin, end) range.
+  const std::uint32_t* candidates_begin(std::size_t user) const {
+    return &csr_cells_[csr_offsets_[user]];
+  }
+  std::size_t candidate_count(std::size_t user) const {
+    return csr_offsets_[user + 1] - csr_offsets_[user];
+  }
+
+  /// Users holding `cell` as a candidate, ascending (transpose index).
+  const std::uint32_t* users_of_cell_begin(std::size_t cell) const {
+    return &transpose_users_[transpose_offsets_[cell]];
+  }
+  std::size_t users_of_cell_count(std::size_t cell) const {
+    return transpose_offsets_[cell + 1] - transpose_offsets_[cell];
+  }
+
+ private:
+  std::size_t link_index(std::size_t user, std::size_t cell) const {
+    WCDMA_DEBUG_ASSERT(user < num_users_ && cell < num_cells_);
+    return user * num_cells_ + cell;
+  }
+
+  const cell::HexLayout* layout_ = nullptr;
+  const channel::PathLoss* path_loss_ = nullptr;
+  channel::ShadowingConfig shadowing_{};
+  channel::FadingKind fading_kind_ = channel::FadingKind::kAr1;
+  double frame_s_ = 0.020;
+  int jakes_paths_ = 16;
+  std::size_t num_users_ = 0;
+  std::size_t num_cells_ = 0;
+  std::int64_t frame_ = 0;
+
+  // Per-link shadowing state (stepped eagerly for candidates).
+  std::vector<common::Rng> shadow_rng_;
+  std::vector<double> shadow_db_;
+
+  // Per-link AR(1) fading state (advanced lazily).  rho/innovation depend
+  // only on the user's Doppler, so they live per user.
+  std::vector<common::Rng> fade_rng_;
+  std::vector<double> fade_re_, fade_im_;
+  std::vector<std::int64_t> fade_frame_;
+  std::vector<double> fade_rho_, fade_innovation_;  // per user
+
+  // Jakes fallback: per-link generator objects, advanced lazily.
+  std::vector<channel::JakesFading> jakes_;
+  std::vector<std::int64_t> jakes_frame_;
+
+  // Per-frame link outputs (flat, stride num_cells_).
+  std::vector<double> gain_mean_;
+  std::vector<double> pilot_fl_;
+
+  // CSR candidate index + transpose, valid for candidate_epoch_.
+  std::vector<std::uint32_t> csr_offsets_, csr_cells_;
+  std::vector<std::uint32_t> transpose_offsets_, transpose_users_;
+  std::uint64_t candidate_epoch_ = ~std::uint64_t{0};
+};
+
+}  // namespace wcdma::sim

@@ -11,9 +11,6 @@ namespace wcdma::sim {
 namespace {
 
 constexpr double kTiny = 1e-30;
-// Pilot Ec/Io reported for cells outside a user's candidate set: far below
-// every hand-off threshold, so culled cells can never enter the active set.
-constexpr double kPilotFloorDb = -500.0;
 
 /// Registry name of the configured admission policy: the explicit string
 /// wins; the legacy SchedulerKind enum is the fallback.
@@ -84,12 +81,32 @@ Simulator::Simulator(const SystemConfig& config)
     }
   }
 
-  channel::LinkConfig link_cfg;
-  link_cfg.shadowing = config_.shadowing;
-  link_cfg.fading = config_.fading;
-  link_cfg.frame_s = config_.frame_s;
-
   const int total_users = config_.voice.users + config_.data.users;
+  state_.init(&layout_, &path_loss_, config_.shadowing, config_.fading,
+              config_.frame_s, channel::LinkConfig{}.jakes_paths,
+              static_cast<std::size_t>(total_users));
+  queues_.init(config_.placement.carriers);
+  round_ranges_.assign(static_cast<std::size_t>(config_.placement.carriers) * 2,
+                       {0, 0});
+  prev_tx_w_.assign(static_cast<std::size_t>(total_users), 0.0);
+  user_carrier_.assign(static_cast<std::size_t>(total_users), 0);
+
+  sim_threads_ = config_.sim_threads == 0
+                     ? common::default_thread_count()
+                     : static_cast<std::size_t>(config_.sim_threads);
+  if (sim_threads_ < 1) sim_threads_ = 1;
+  // sim_threads_ is the SHARD count (fixed partitioning, so results are
+  // identical everywhere); the worker pool is additionally capped at the
+  // hardware concurrency -- oversubscribing a CPU-bound loop only adds
+  // context switches.  The calling thread always works shard 0, so the pool
+  // holds min(shards, cores) - 1 workers; with one core the shards simply
+  // run in order on the caller, at sequential speed.
+  const std::size_t workers =
+      std::min(sim_threads_, common::default_thread_count()) - 1;
+  if (workers >= 1) pool_ = std::make_unique<common::ThreadPool>(workers);
+  shard_scratch_.resize(sim_threads_);
+  for (ShardScratch& s : shard_scratch_) s.pilot_db.resize(layout_.num_cells());
+
   users_.reserve(static_cast<std::size_t>(total_users));
   const auto fl_cfg = forward_pc_config(config_.radio);
   const auto rl_cfg = reverse_pc_config(config_.radio);
@@ -122,14 +139,9 @@ Simulator::Simulator(const SystemConfig& config)
     u.mobility = cell::make_mobility(
         mob.kind == cell::MobilityKind::kCorridor ? mob : user_mob, user_rng.fork(1));
     const double speed = u.mobility->speed_mps();
-    link_cfg.doppler_hz = common::doppler_hz(std::max(speed, 0.3), config_.carrier_hz);
-    u.links.reserve(layout_.num_cells());
-    for (std::size_t k = 0; k < layout_.num_cells(); ++k) {
-      u.links.emplace_back(link_cfg, &path_loss_, user_rng.fork(100 + k));
-    }
-    u.gain_mean.assign(layout_.num_cells(), 0.0);
-    u.gain_inst.assign(layout_.num_cells(), 0.0);
-    u.pilot_fl.assign(layout_.num_cells(), 0.0);
+    const double doppler_hz =
+        common::doppler_hz(std::max(speed, 0.3), config_.carrier_hz);
+    state_.init_user(static_cast<std::size_t>(i), user_rng, doppler_hz);
 
     if (u.is_data) {
       traffic::DataTrafficConfig dc;
@@ -163,8 +175,7 @@ Simulator::Simulator(const SystemConfig& config)
     }
   }
 
-  csi_->init(&layout_, users_.size());
-  pilot_db_scratch_.resize(layout_.num_cells());
+  csi_->init(&layout_, users_.size(), &state_);
 }
 
 SimMetrics Simulator::run() {
@@ -175,8 +186,14 @@ SimMetrics Simulator::run() {
 }
 
 void Simulator::step_frame() {
+  state_.advance_frame();
+  // Channel stepping and the forward measurements fuse into one sharded
+  // pass: measurement of user i depends only on i's own fresh link state
+  // plus last frame's (frozen) station powers, never on other users.
   step_mobility_and_channel();
-  step_forward_measurements();
+  // The CSR/transpose rebuild (reverse gather, SCRM reports) must see the
+  // post-refresh candidate sets, so it runs after the fused pass.
+  state_.refresh_candidate_index(*csi_);
   step_reverse_measurements();
   step_power_control();
   step_traffic();
@@ -192,71 +209,128 @@ void Simulator::step_frame() {
   ++frame_count_;
 }
 
-void Simulator::step_mobility_and_channel() {
-  for (std::size_t i = 0; i < users_.size(); ++i) {
-    User& u = users_[i];
-    const ChannelUserView view{u.mobility.get(), &u.links, &u.gain_mean, &u.gain_inst,
-                               &u.active_set};
-    csi_->step_user(i, view, config_.frame_s);
+void Simulator::for_shards(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (sim_threads_ <= 1) {
+    fn(0, 0, n);
+    return;
   }
+  // Fixed contiguous ranges derived only from (n, sim_threads_): the split
+  // itself never depends on the worker count, and no shard shares state, so
+  // every execution order produces identical results.
+  const std::size_t shards = std::min(sim_threads_, n);
+  const std::size_t chunk = (n + shards - 1) / shards;
+  auto run = [&fn, chunk, n](std::size_t s) {
+    const std::size_t begin = s * chunk;
+    fn(s, begin, std::min(begin + chunk, n));
+  };
+  if (!pool_) {
+    for (std::size_t s = 0; s < shards; ++s) run(s);
+    return;
+  }
+  for (std::size_t s = 1; s < shards; ++s) {
+    pool_->submit([&run, s] { run(s); });
+  }
+  run(0);  // the calling thread is a worker too
+  pool_->wait_idle();
 }
 
-void Simulator::step_forward_measurements() {
+void Simulator::step_mobility_and_channel() {
+  // Per-user work only (mobility, candidate refresh, per-link RNG streams,
+  // then this user's forward measurements): safe and bit-identical under
+  // any sharding.
+  for_shards(users_.size(),
+             [this](std::size_t shard, std::size_t begin, std::size_t end) {
+               for (std::size_t i = begin; i < end; ++i) {
+                 User& u = users_[i];
+                 const ChannelUserView view{u.mobility.get(), &u.active_set};
+                 csi_->step_user(i, view, config_.frame_s);
+                 forward_measure_user(shard, i);
+               }
+             });
+}
+
+void Simulator::forward_measure_user(std::size_t shard, std::size_t i) {
   const std::size_t cells = layout_.num_cells();
-  for (std::size_t i = 0; i < users_.size(); ++i) {
+  ShardScratch& scratch = shard_scratch_[shard];
+  {
     User& u = users_[i];
     // Only the user's own carrier contributes interference: other carriers
     // are separate frequencies.  Only candidate cells carry live gain state;
     // the rest contribute zero by construction.
     const std::vector<std::size_t>& candidates = csi_->cells_for(i);
+    const std::size_t* cand = candidates.data();
+    const std::size_t n_cand = candidates.size();
+    const double* gain = state_.gain_mean_row(i);
+    double* pilot = state_.pilot_fl_row(i);
     double total = noise_w_;
-    for (std::size_t k : candidates) {
-      total += stations_[station_index(k, u.carrier)].prev_forward_w * u.gain_mean[k];
+    for (std::size_t c = 0; c < n_cand; ++c) {
+      const std::size_t k = cand[c];
+      total += stations_[station_index(k, u.carrier)].prev_forward_w * gain[k];
     }
     u.fwd_interference_w = total;
-    if (candidates.size() == cells) {
+    if (n_cand == cells) {
       // Exhaustive provider: dense update, bit-identical to the legacy path.
-      for (std::size_t k : candidates) {
-        u.pilot_fl[k] = config_.radio.pilot_power_w * u.gain_mean[k] / total;
-        pilot_db_scratch_[k] = common::linear_to_db(std::max(u.pilot_fl[k], kTiny));
+      for (std::size_t k = 0; k < cells; ++k) {
+        pilot[k] = config_.radio.pilot_power_w * gain[k] / total;
+        scratch.pilot_db[k] = common::linear_to_db(std::max(pilot[k], kTiny));
       }
-      u.active_set.update(pilot_db_scratch_, config_.frame_s);
+      u.active_set.update(scratch.pilot_db, config_.frame_s);
     } else {
       // Culled provider: only candidate cells report; everything else sits
       // at the floor pilot (below every hand-off threshold) implicitly, so
-      // per-user work is O(candidates), not O(cells).
-      pilot_pairs_scratch_.clear();
-      for (std::size_t k : candidates) {
-        u.pilot_fl[k] = config_.radio.pilot_power_w * u.gain_mean[k] / total;
-        pilot_pairs_scratch_.push_back(
-            {k, common::linear_to_db(std::max(u.pilot_fl[k], kTiny))});
+      // per-user work is O(candidates), not O(cells) -- and the hand-off
+      // comparisons run directly on the linear pilots (order statistics are
+      // domain-invariant), skipping the per-cell dB conversion.
+      scratch.pilot_pairs.clear();
+      for (std::size_t c = 0; c < n_cand; ++c) {
+        const std::size_t k = cand[c];
+        pilot[k] = config_.radio.pilot_power_w * gain[k] / total;
+        scratch.pilot_pairs.push_back({k, pilot[k]});
       }
-      u.active_set.update_sparse(pilot_pairs_scratch_, kPilotFloorDb, config_.frame_s);
+      u.active_set.update_sparse_linear(scratch.pilot_pairs, config_.frame_s);
     }
 
     // Own-cell orthogonality credit on the primary leg.
     const std::size_t prim = u.active_set.primary();
     const double own =
-        stations_[station_index(prim, u.carrier)].prev_forward_w * u.gain_mean[prim];
-    u.fwd_interference_eff_w =
-        total - (1.0 - config_.radio.orthogonality_loss) * own;
+        stations_[station_index(prim, u.carrier)].prev_forward_w * gain[prim];
+    u.fwd_interference_eff_w = total - (1.0 - config_.radio.orthogonality_loss) * own;
     WCDMA_DEBUG_ASSERT(u.fwd_interference_eff_w > 0.0);
   }
 }
 
 void Simulator::step_reverse_measurements() {
-  for (auto& bs : stations_) bs.received_w = noise_w_;
-  for (std::size_t i = 0; i < users_.size(); ++i) {
-    const User& u = users_[i];
-    if (u.prev_tx_w <= 0.0) continue;
-    for (std::size_t k : csi_->cells_for(i)) {
-      stations_[station_index(k, u.carrier)].received_w += u.prev_tx_w * u.gain_mean[k];
+  // Reverse rise as a per-station GATHER over the candidate transpose: each
+  // station sums its contributing users in ascending user order -- the same
+  // additions, in the same order, as the legacy sequential scatter, which
+  // is what makes the shard split over cells bit-identical for any thread
+  // count (no shared accumulators).
+  const int carriers = config_.placement.carriers;
+  for_shards(layout_.num_cells(), [this, carriers](std::size_t, std::size_t begin,
+                                                   std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      for (int c = 0; c < carriers; ++c) {
+        stations_[station_index(k, c)].received_w = noise_w_;
+      }
+      const std::uint32_t* contributors = state_.users_of_cell_begin(k);
+      const std::size_t n = state_.users_of_cell_count(k);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::uint32_t i = contributors[j];
+        const double tx = prev_tx_w_[i];
+        if (tx <= 0.0) continue;
+        stations_[station_index(k, user_carrier_[i])].received_w +=
+            tx * state_.gain_mean(i, k);
+      }
     }
-  }
+  });
 }
 
 void Simulator::step_power_control() {
-  for (auto& u : users_) {
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    User& u = users_[i];
     u.fch_on = u.is_data
                    ? (u.has_pending || u.burst.active ||
                       u.mac.state() == mac::MacState::kActive ||
@@ -278,7 +352,7 @@ void Simulator::step_power_control() {
       const double fch_tx =
           u.rl_pc.power_watt() * config_.admission.zeta_fch_pilot_ratio;
       const double sir =
-          fch_tx * u.gain_mean[prim] * fch_pg_ /
+          fch_tx * state_.gain_mean(i, prim) * fch_pg_ /
           std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
           u.active_set.reverse_adjustment();
       u.fch_sir_linear = std::max(sir, kTiny);
@@ -287,7 +361,7 @@ void Simulator::step_power_control() {
     } else {
       // Forward FCH power control (voice users and forward data users).
       const std::size_t prim = u.active_set.primary();
-      const double sir = u.fl_pc.power_watt() * u.gain_mean[prim] * fch_pg_ /
+      const double sir = u.fl_pc.power_watt() * state_.gain_mean(i, prim) * fch_pg_ /
                          std::max(u.fwd_interference_eff_w, kTiny);
       u.fch_sir_linear = std::max(sir, kTiny);
       u.fl_pc.update(common::linear_to_db(u.fch_sir_linear));
@@ -304,7 +378,7 @@ void Simulator::step_power_control() {
       const double fch_tx =
           u.rl_pc.power_watt() * config_.admission.zeta_fch_pilot_ratio;
       const double sir =
-          fch_tx * u.gain_mean[prim] * fch_pg_ /
+          fch_tx * state_.gain_mean(i, prim) * fch_pg_ /
           std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
           u.active_set.reverse_adjustment();
       u.rl_pc.update(common::linear_to_db(std::max(sir, kTiny)));
@@ -313,15 +387,23 @@ void Simulator::step_power_control() {
 }
 
 void Simulator::step_traffic() {
+  const bool ramped = config_.load_ramp.enabled();
   for (auto& u : users_) {
     if (u.voice) {
       u.voice_active = u.voice->step(config_.frame_s);
     }
     if (u.data) {
-      if (const auto bytes = u.data->step(config_.frame_s)) {
+      // Flash-crowd knob: the ramp multiplies the arrival intensity of data
+      // users homed in the ramped cells by scaling the reading-time clock.
+      const double dt =
+          ramped ? config_.frame_s * config_.load_ramp.scale(now_s_, u.home_cell)
+                 : config_.frame_s;
+      if (const auto bytes = u.data->step(dt)) {
+        WCDMA_DEBUG_ASSERT(!u.has_pending && !u.burst.active);
         u.has_pending = true;
         u.pending_bits = *bytes * 8.0;
         u.pending_arrival_s = now_s_;
+        queues_.add(u.id, u.carrier, u.forward_dir);
         if (!in_warmup()) ++metrics_.requests_seen;
       }
       u.mac.step(config_.frame_s, u.burst.active && u.burst.setup_left_s <= 0.0);
@@ -394,95 +476,114 @@ void Simulator::build_frame_context() {
     ctx.reverse_interference_watt[s] = stations_[s].received_w;
   }
 
+  // One request bucket per (carrier, direction) scheduling round, each in
+  // ascending user-id order -- exactly the subset (and subset order) the
+  // legacy O(users) scan produced for that round.
   ctx.requests.clear();
   pending_users_.clear();
-  for (std::size_t i = 0; i < users_.size(); ++i) {
-    User& u = users_[i];
-    if (!u.is_data || !u.has_pending || u.burst.active) continue;
-    if (now_s_ < u.next_eligible_s) continue;  // SCRM persistence gate
+  for (int c = 0; c < config_.placement.carriers; ++c) {
+    for (const bool fwd : {true, false}) {
+      const std::size_t start = ctx.requests.size();
+      for (const int user_id : queues_.bucket(fwd, c)) {
+        User& u = users_[static_cast<std::size_t>(user_id)];
+        WCDMA_DEBUG_ASSERT(u.is_data && u.has_pending && !u.burst.active);
+        WCDMA_DEBUG_ASSERT(u.carrier == c && u.forward_dir == fwd);
+        if (now_s_ < u.next_eligible_s) continue;  // SCRM persistence gate
 
-    admission::FrameRequest r;
-    r.user = u.id;
-    r.carrier = u.carrier;
-    r.forward = u.forward_dir;
-    r.q_bits = u.pending_bits;
-    r.waiting_s = now_s_ - u.pending_arrival_s;
-    r.priority = u.priority;
-    r.delta_beta = delta_beta(u);
-    r.fch_power_watt = u.fl_pc.power_watt();
-    r.pilot_tx_watt = u.rl_pc.power_watt();
-    r.alpha_fl = u.active_set.forward_adjustment();
-    r.alpha_rl = u.active_set.reverse_adjustment();
-    r.zeta = config_.admission.zeta_fch_pilot_ratio;
-    for (std::size_t k : u.active_set.reduced()) {
-      r.reduced_set.push_back({k, u.gain_mean[k]});
-    }
-    if (u.forward_dir) {
-      r.tx_cap = config_.spreading.max_sgr;
-    } else {
-      // SCRM: up to 8 strongest forward pilots (footnote 6), plus the
-      // reverse SGR cap from the mobile's power budget.
-      std::vector<std::pair<double, std::size_t>> ranked;
-      for (std::size_t k : csi_->cells_for(i)) ranked.push_back({u.pilot_fl[k], k});
-      std::sort(ranked.begin(), ranked.end(),
-                [](const auto& a, const auto& b) { return a.first > b.first; });
-      const std::size_t n_report = std::min<std::size_t>(ranked.size(), 8);
-      for (std::size_t n = 0; n < n_report; ++n) {
-        r.scrm_pilots.push_back({ranked[n].second, ranked[n].first});
+        admission::FrameRequest r;
+        r.user = u.id;
+        r.carrier = u.carrier;
+        r.forward = u.forward_dir;
+        r.q_bits = u.pending_bits;
+        r.waiting_s = now_s_ - u.pending_arrival_s;
+        r.priority = u.priority;
+        r.delta_beta = delta_beta(u);
+        r.fch_power_watt = u.fl_pc.power_watt();
+        r.pilot_tx_watt = u.rl_pc.power_watt();
+        r.alpha_fl = u.active_set.forward_adjustment();
+        r.alpha_rl = u.active_set.reverse_adjustment();
+        r.zeta = config_.admission.zeta_fch_pilot_ratio;
+        const std::size_t i = static_cast<std::size_t>(u.id);
+        const auto& members = u.active_set.members();
+        const std::size_t reduced_n = u.active_set.reduced_count();
+        for (std::size_t j = 0; j < reduced_n; ++j) {
+          r.reduced_set.push_back({members[j], state_.gain_mean(i, members[j])});
+        }
+        if (u.forward_dir) {
+          r.tx_cap = config_.spreading.max_sgr;
+        } else {
+          // SCRM: up to 8 strongest forward pilots (footnote 6), plus the
+          // reverse SGR cap from the mobile's power budget.
+          std::vector<std::pair<double, std::size_t>> ranked;
+          const std::uint32_t* cand = state_.candidates_begin(i);
+          const std::size_t n_cand = state_.candidate_count(i);
+          for (std::size_t n = 0; n < n_cand; ++n) {
+            ranked.push_back({state_.pilot_fl(i, cand[n]), cand[n]});
+          }
+          std::sort(ranked.begin(), ranked.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+          const std::size_t n_report = std::min<std::size_t>(ranked.size(), 8);
+          for (std::size_t n = 0; n < n_report; ++n) {
+            r.scrm_pilots.push_back({ranked[n].second, ranked[n].first});
+          }
+          r.tx_cap = mobile_tx_upper_bound(u);
+        }
+        ctx.requests.push_back(std::move(r));
+        pending_users_.push_back(&u);
       }
-      r.tx_cap = mobile_tx_upper_bound(u);
+      round_ranges_[round_index(c, fwd)] = {start, ctx.requests.size()};
     }
-    ctx.requests.push_back(std::move(r));
-    pending_users_.push_back(&u);
   }
 }
 
 void Simulator::run_admission(mac::LinkDirection direction, int carrier) {
   // A request snapshot matches exactly one (carrier, direction) round per
-  // frame, so rounds never see each other's requests.
+  // frame, so rounds never see each other's requests.  The round's requests
+  // sit contiguously in frame_ctx_.requests (built bucket-by-bucket).
   const bool fwd = direction == mac::LinkDirection::kForward;
-  std::vector<std::size_t> round;
-  for (std::size_t i = 0; i < frame_ctx_.requests.size(); ++i) {
-    const admission::FrameRequest& r = frame_ctx_.requests[i];
-    if (r.carrier != carrier || r.forward != fwd) continue;
-    round.push_back(i);
-  }
-  if (round.empty()) return;
+  const auto [start, end] = round_ranges_[round_index(carrier, fwd)];
+  if (start == end) return;
+  round_scratch_.clear();
+  for (std::size_t i = start; i < end; ++i) round_scratch_.push_back(i);
 
   const std::vector<admission::PolicyGrant> grants =
-      admission_policy_->decide(frame_ctx_, direction, carrier, round);
+      admission_policy_->decide(frame_ctx_, direction, carrier, round_scratch_);
 
   // Scatter the grants, then apply in request order (deterministic).  A
-  // policy may only grant requests it was handed this round.
-  std::vector<char> in_round(frame_ctx_.requests.size(), 0);
-  for (std::size_t idx : round) in_round[idx] = 1;
-  std::vector<int> m(frame_ctx_.requests.size(), 0);
-  std::vector<int> grant_carrier(frame_ctx_.requests.size(), carrier);
+  // policy may only grant requests it was handed this round; the scratch
+  // arrays are round-local (indexed relative to `start`).
+  grant_m_scratch_.assign(end - start, 0);
+  grant_carrier_scratch_.assign(end - start, carrier);
   for (const admission::PolicyGrant& g : grants) {
-    WCDMA_ASSERT(g.request < frame_ctx_.requests.size());
-    WCDMA_ASSERT(in_round[g.request] && "policy granted a request outside its round");
+    WCDMA_ASSERT(g.request >= start && g.request < end &&
+                 "policy granted a request outside its round");
     WCDMA_ASSERT(g.m > 0 && g.m <= frame_ctx_.requests[g.request].tx_cap);
     WCDMA_ASSERT(g.carrier >= 0 && g.carrier < config_.placement.carriers);
-    m[g.request] = g.m;
-    grant_carrier[g.request] = g.carrier;
+    grant_m_scratch_[g.request - start] = g.m;
+    grant_carrier_scratch_[g.request - start] = g.carrier;
   }
 
   int granted = 0;
-  for (std::size_t idx : round) {
+  for (std::size_t idx = start; idx < end; ++idx) {
     User& u = *pending_users_[idx];
-    if (m[idx] <= 0) {
+    const int m = grant_m_scratch_[idx - start];
+    const int serving_carrier = grant_carrier_scratch_[idx - start];
+    if (m <= 0) {
       u.next_eligible_s = now_s_ + config_.admission.scrm_retry_s;
       continue;
     }
-    if (grant_carrier[idx] != u.carrier) {
+    // The request leaves its queue the moment it becomes a burst; on an
+    // inter-carrier hand-down this must happen before the carrier moves.
+    queues_.remove(u.id, u.carrier, u.forward_dir);
+    if (serving_carrier != u.carrier) {
       // Inter-carrier hand-down: the burst (and the user's FCH) moves to
       // the granting carrier's interference domain.
-      u.carrier = grant_carrier[idx];
+      u.carrier = serving_carrier;
       if (!in_warmup()) ++metrics_.carrier_hand_downs;
     }
     const double waited = now_s_ - u.pending_arrival_s;
     u.burst.active = true;
-    u.burst.m = m[idx];
+    u.burst.m = m;
     u.burst.remaining_bits = u.pending_bits;
     u.burst.arrival_s = u.pending_arrival_s;
     u.burst.setup_left_s = mac::setup_delay_for_wait(config_.mac_timers, waited);
@@ -492,14 +593,15 @@ void Simulator::run_admission(mac::LinkDirection direction, int carrier) {
     if (!in_warmup()) {
       ++metrics_.grants;
       metrics_.queue_delay_s.add(waited);
-      metrics_.granted_sgr.add(static_cast<double>(m[idx]));
+      metrics_.granted_sgr.add(static_cast<double>(m));
     }
   }
   if (granted == 0 && !in_warmup()) ++metrics_.reject_rounds;
 }
 
 void Simulator::step_transmission() {
-  for (auto& u : users_) {
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    User& u = users_[i];
     if (!u.burst.active) continue;
     if (u.burst.setup_left_s > 0.0) {
       u.burst.setup_left_s -= config_.frame_s;
@@ -509,7 +611,7 @@ void Simulator::step_transmission() {
     // factor of the serving link over the local-mean operating point that
     // power control maintains.
     const std::size_t prim = u.active_set.primary();
-    const double true_csi = sch_mean_csi(u) * u.links[prim].fading_factor();
+    const double true_csi = sch_mean_csi(u) * state_.fading_factor(i, prim);
     phy::FrameOutcome out;
     if (u.fixed) {
       // Non-adaptive baseline: the whole frame is committed to one mode on
@@ -570,7 +672,8 @@ void Simulator::update_transmit_powers() {
   const double idle_w = config_.radio.pilot_power_w + config_.radio.common_power_w;
   for (auto& bs : stations_) bs.forward_w = idle_w;
 
-  for (auto& u : users_) {
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    User& u = users_[i];
     // Data users between bursts hold only the low-rate DCCH (Control Hold,
     // Fig. 3): a fraction of the full-rate FCH power.  The full FCH comes
     // up with the burst; the measurement sub-layer prices SCH grants off
@@ -584,13 +687,15 @@ void Simulator::update_transmit_powers() {
     // (Eq. 5-6).
     if (u.fch_on && (!u.is_data || u.forward_dir)) {
       const double fch_w = u.fl_pc.power_watt() * fch_scale;
-      for (std::size_t k : u.active_set.members())
+      const auto& members = u.active_set.members();
+      for (std::size_t k : members)
         stations_[station_index(k, u.carrier)].forward_w += fch_w;
       if (bursting && u.is_data) {
         const double sch_w =
             config_.spreading.gamma_s * u.burst.m * u.fl_pc.power_watt();
-        for (std::size_t k : u.active_set.reduced())
-          stations_[station_index(k, u.carrier)].forward_w += sch_w;
+        const std::size_t reduced_n = u.active_set.reduced_count();
+        for (std::size_t j = 0; j < reduced_n; ++j)
+          stations_[station_index(members[j], u.carrier)].forward_w += sch_w;
       }
     }
 
@@ -609,7 +714,8 @@ void Simulator::update_transmit_powers() {
         if (!in_warmup()) ++metrics_.mobile_power_saturations;
       }
     }
-    u.prev_tx_w = tx;
+    prev_tx_w_[i] = tx;
+    user_carrier_[i] = u.carrier;
   }
 
   for (auto& bs : stations_) {
@@ -632,9 +738,10 @@ void Simulator::collect_frame_metrics() {
     metrics_.forward_load_fraction.add(bs.forward_w / config_.radio.bs_max_power_w);
     metrics_.reverse_rise_db.add(common::linear_to_db(bs.received_w / noise_w_));
   }
-  int queue = 0;
-  for (const auto& u : users_) queue += (u.has_pending && !u.burst.active) ? 1 : 0;
-  metrics_.pending_queue_len.add(static_cast<double>(queue));
+  // The queues maintain exactly the (has_pending && !burst.active) set the
+  // legacy full scan counted; pending_requests() keeps the O(users)
+  // reference for the equivalence tests.
+  metrics_.pending_queue_len.add(static_cast<double>(queues_.total_pending()));
 }
 
 double Simulator::forward_power_w(std::size_t cell, int carrier) const {

@@ -12,6 +12,18 @@
 // Interference is resolved as a lagged fixed point: frame t uses the
 // transmit powers of frame t-1 as the interference background, the standard
 // technique for dynamic CDMA system simulations.
+//
+// Hot-path layout (see docs/ARCHITECTURE.md "hot path & memory layout"):
+// per-link channel state lives in a structure-of-arrays sim::FrameState
+// rather than inside Simulator::User, pending burst requests live in
+// incrementally-maintained per-(direction, carrier) RequestQueues rather
+// than being re-scanned per frame, and the three heavy per-frame loops
+// (channel stepping, forward measurements, reverse-rise gather) shard over
+// a persistent thread pool when config.sim_threads > 1.  Results are
+// bit-identical for every thread count: the sharded loops carry no
+// cross-user accumulators, and the reverse rise is computed as a
+// per-station gather in ascending user order (the same additions, in the
+// same order, as the legacy sequential scatter).
 #pragma once
 
 #include <memory>
@@ -26,6 +38,7 @@
 #include "src/cell/mobility.hpp"
 #include "src/channel/channel.hpp"
 #include "src/channel/path_loss.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/mac/mac_state.hpp"
 #include "src/mac/scrm.hpp"
 #include "src/phy/adaptation.hpp"
@@ -34,7 +47,9 @@
 #include "src/power/power_control.hpp"
 #include "src/sim/channel_state.hpp"
 #include "src/sim/config.hpp"
+#include "src/sim/frame_state.hpp"
 #include "src/sim/metrics.hpp"
+#include "src/sim/request_queue.hpp"
 #include "src/traffic/data.hpp"
 #include "src/traffic/voice.hpp"
 
@@ -67,7 +82,14 @@ class Simulator {
   std::size_t user_home_cell(std::size_t user) const;
   double thermal_noise_w() const { return noise_w_; }
   int active_bursts() const;
+  /// Pending-request count by O(users) scan -- the reference the indexed
+  /// RequestQueues are tested against.
   int pending_requests() const;
+  /// Pending-request count from the incrementally-maintained queues.
+  int queued_requests() const { return static_cast<int>(queues_.total_pending()); }
+  /// Worker threads the intra-frame loops actually use (resolved from
+  /// config.sim_threads; 0 resolves to hardware concurrency).
+  std::size_t sim_threads() const { return sim_threads_; }
   /// Resolved admission-policy and channel-state-provider registry names
   /// (round-trippable through admission::make_policy / make_channel_provider).
   std::string policy_name() const { return admission_policy_name_; }
@@ -102,19 +124,19 @@ class Simulator {
     std::size_t home_cell = 0;
 
     std::unique_ptr<cell::MobilityModel> mobility;
-    std::vector<channel::Link> links;  // one per cell
     cell::ActiveSet active_set;
     power::ClosedLoopPowerControl fl_pc;  // FCH forward power (per leg)
     power::ClosedLoopPowerControl rl_pc;  // reverse pilot TX power
     std::optional<traffic::VoiceSource> voice;
     std::optional<traffic::DataSource> data;
     mac::MacStateMachine mac;
-    std::unique_ptr<phy::LinkAdapter> adapter;        // adaptive VTAOC
-    std::unique_ptr<phy::FixedRateAdapter> fixed;     // ablation PHY
+    std::unique_ptr<phy::LinkAdapter> adapter;     // adaptive VTAOC
+    std::unique_ptr<phy::FixedRateAdapter> fixed;  // ablation PHY
 
     bool voice_active = false;
     bool fch_on = false;
-    double prev_tx_w = 0.0;  // total mobile TX power last frame
+    // (last frame's mobile TX power lives in Simulator::prev_tx_w_, the
+    // SoA mirror the reverse-rise gather reads)
 
     // Pending burst request (at most one; mirrors mac::RequestQueue
     // semantics but kept inline for the hot loop).
@@ -125,26 +147,33 @@ class Simulator {
 
     Burst burst;
 
-    // Per-frame caches.
-    std::vector<double> gain_mean;   // local-mean gain per cell
-    std::vector<double> gain_inst;   // instantaneous gain per cell
-    std::vector<double> pilot_fl;    // forward pilot Ec/Io (linear) per cell
-    double fwd_interference_w = 0.0; // total received forward power + noise
+    // Per-frame interference caches (per-cell state lives in FrameState).
+    double fwd_interference_w = 0.0;  // total received forward power + noise
     double fwd_interference_eff_w = 0.0;  // with own-cell orthogonality credit
-    double fch_sir_linear = 0.0;     // achieved FCH Eb/I0 (relevant link)
+    double fch_sir_linear = 0.0;          // achieved FCH Eb/I0 (relevant link)
 
     User(const cell::ActiveSetConfig& as_cfg, std::size_t num_cells,
          const power::PowerControlConfig& fl_cfg, const power::PowerControlConfig& rl_cfg)
         : active_set(as_cfg, num_cells), fl_pc(fl_cfg), rl_pc(rl_cfg, -20.0) {}
   };
 
+  /// Per-shard measurement scratch (one per worker shard, so the forward
+  /// loop never shares a buffer across threads).
+  struct ShardScratch {
+    std::vector<double> pilot_db;
+    std::vector<std::pair<std::size_t, double>> pilot_pairs;
+  };
+
+  /// One sharded pass: mobility + candidate refresh + link stepping + this
+  /// user's forward measurements (fused; see step_frame).
   void step_mobility_and_channel();
-  void step_forward_measurements();
+  void forward_measure_user(std::size_t shard, std::size_t user);
   void step_reverse_measurements();
   void step_power_control();
   void step_traffic();
-  /// Snapshots this frame's measurements and eligible requests into the
-  /// read-only FrameContext handed to the admission policy.
+  /// Snapshots this frame's measurements and the queued eligible requests
+  /// into the read-only FrameContext handed to the admission policy, one
+  /// request bucket per (carrier, direction) scheduling round.
   void build_frame_context();
   /// One scheduling round for one direction on one carrier: only
   /// same-carrier users share power/rise budgets.  Delegates the decision
@@ -154,10 +183,20 @@ class Simulator {
   void update_transmit_powers();
   void collect_frame_metrics();
 
+  /// Runs fn(shard, begin, end) over `n` items split into sim_threads_
+  /// contiguous shards (inline when single-threaded).  The sharded loops
+  /// must be free of cross-item accumulators; see the class comment.
+  void for_shards(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
   /// Index of the (cell, carrier) interference domain in stations_.
   std::size_t station_index(std::size_t cell, int carrier) const {
     return cell * static_cast<std::size_t>(config_.placement.carriers) +
            static_cast<std::size_t>(carrier);
+  }
+  /// Index of the (carrier, direction) scheduling round bookkeeping slot.
+  std::size_t round_index(int carrier, bool forward) const {
+    return static_cast<std::size_t>(carrier) * 2 + (forward ? 0 : 1);
   }
 
   bool in_warmup() const { return now_s_ < config_.warmup_s; }
@@ -178,14 +217,27 @@ class Simulator {
 
   std::vector<BaseStation> stations_;
   std::vector<User> users_;
+  FrameState state_;  // SoA per-link channel state
+  /// Last frame's mobile TX power and carrier per user, written by
+  /// update_transmit_powers() as compact arrays (not User fields): the
+  /// reverse-rise gather walks users in cell-major order, and pulling
+  /// whole User structs there would thrash the cache.
+  std::vector<double> prev_tx_w_;
+  std::vector<int> user_carrier_;
+  RequestQueues queues_;  // per-(direction, carrier) pending requests
+  std::size_t sim_threads_ = 1;
+  std::unique_ptr<common::ThreadPool> pool_;  // persistent intra-frame pool
+  std::vector<ShardScratch> shard_scratch_;
   // Per-frame admission snapshot (rebuilt by build_frame_context).
   admission::FrameContext frame_ctx_;
-  std::vector<User*> pending_users_;      // aligned with frame_ctx_.requests
-  std::vector<double> pilot_db_scratch_;  // dense pilot buffer (exhaustive)
-  std::vector<std::pair<std::size_t, double>> pilot_pairs_scratch_;  // sparse (culled)
+  std::vector<User*> pending_users_;  // aligned with frame_ctx_.requests
+  /// [start, end) of each (carrier, direction) round in frame_ctx_.requests.
+  std::vector<std::pair<std::size_t, std::size_t>> round_ranges_;
+  std::vector<std::size_t> round_scratch_;  // request indices of one round
+  std::vector<int> grant_m_scratch_, grant_carrier_scratch_;
   double noise_w_ = 0.0;
   double l_max_w_ = 0.0;
-  double fch_pg_ = 0.0;        // W / R_f processing gain
+  double fch_pg_ = 0.0;          // W / R_f processing gain
   double fch_sir_target_ = 0.0;  // linear Eb/I0 target
   double now_s_ = 0.0;
   std::int64_t frame_count_ = 0;

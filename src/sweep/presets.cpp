@@ -183,6 +183,49 @@ SweepSpec carrier_balance() {
   return spec;
 }
 
+/// Flash crowd on the hotspot-centre layout: a trapezoidal arrival pulse
+/// (2x..4x) hits the centre cell and its first ring mid-run -- the "dynamic
+/// per-cell load over time" scenario the static hotspot weights cannot
+/// express.  Peak scale x scheduler, so the delay blow-up and recovery are
+/// directly comparable across admission schemes.
+SweepSpec flash_crowd() {
+  SweepSpec spec;
+  spec.name = "flash-crowd";
+  scenario::ScenarioLayout layout = scenario::hotspot_center();
+  // Pulse shortly after the 12 s warmup so both the full 150 s run and the
+  // shortened CI smoke cross it; the long tail shows the recovery.
+  layout.load_ramp.start_s = 16.0;
+  layout.load_ramp.rise_s = 8.0;
+  layout.load_ramp.hold_s = 50.0;
+  layout.load_ramp.fall_s = 10.0;
+  // Full pulse on the centre cell, half strength on the first ring.
+  layout.load_ramp.cell_weights.assign(cell::hex_cell_count(layout.layout.rings), 0.0);
+  layout.load_ramp.cell_weights[0] = 1.0;
+  for (std::size_t k = 1; k <= 6; ++k) layout.load_ramp.cell_weights[k] = 0.5;
+  // peak_scale stays 1 in the base; the ramp_peak axis switches it on, and
+  // value 1 doubles as the no-ramp control cell of the sweep.
+  spec.base = layout.to_config();
+  spec.axes = {axis_load_ramp_peak({1.0, 2.0, 4.0}),
+               axis_scheduler({SchedulerKind::kJabaSd, SchedulerKind::kFcfs})};
+  spec.replications = 2;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
+/// Intra-frame parallelism proof: the sim_threads axis must leave every
+/// metric bit-identical while the sweep records the frames/sec story.
+SweepSpec sim_threads() {
+  SweepSpec spec;
+  spec.name = "sim-threads";
+  spec.base = scenario::hotspot_center().to_config();
+  spec.base.sim_duration_s = 30.0;
+  spec.base.warmup_s = 5.0;
+  spec.axes = {axis_sim_threads({1, 4}), axis_csi_provider({"exhaustive", "culled"})};
+  spec.replications = 1;
+  spec.common_random_numbers = true;  // identical streams: rows must match
+  return spec;
+}
+
 /// Tiny 2-scenario grid for CI smoke runs and engine tests.
 SweepSpec smoke() {
   SweepSpec spec;
@@ -227,6 +270,10 @@ const PresetEntry kPresets[] = {
      csi_providers},
     {"carrier-balance", "inter-carrier hand-down vs JABA-SD, two carriers",
      carrier_balance},
+    {"flash-crowd", "hotspot-centre arrival pulse, ramp peak x schedulers",
+     flash_crowd},
+    {"sim-threads", "intra-frame thread count x provider, bit-identity proof",
+     sim_threads},
     {"smoke", "tiny 2-scenario grid for CI smoke runs", smoke},
 };
 

@@ -178,6 +178,25 @@ Axis axis_reduced_set(const std::vector<std::size_t>& sizes) {
   return axis;
 }
 
+Axis axis_sim_threads(const std::vector<int>& counts) {
+  Axis axis{"sim_threads", {}};
+  for (int n : counts) {
+    axis.values.push_back(
+        {format_int(n), [n](sim::SystemConfig& cfg) { cfg.sim_threads = n; }});
+  }
+  return axis;
+}
+
+Axis axis_load_ramp_peak(const std::vector<double>& peaks) {
+  Axis axis{"ramp_peak", {}};
+  for (double p : peaks) {
+    axis.values.push_back({common::format_double(p, 4), [p](sim::SystemConfig& cfg) {
+                             cfg.load_ramp.peak_scale = p;
+                           }});
+  }
+  return axis;
+}
+
 std::size_t SweepSpec::scenario_count() const {
   std::size_t count = 1;
   for (const Axis& axis : axes) {

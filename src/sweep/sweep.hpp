@@ -63,6 +63,13 @@ Axis axis_kappa_margin_db(const std::vector<double>& margins);
 Axis axis_scrm_retry_s(const std::vector<double>& retries);
 /// Reduced active-set size (SCH legs per burst, footnote 4).
 Axis axis_reduced_set(const std::vector<std::size_t>& sizes);
+/// Intra-frame worker threads of the simulator hot path (sim.threads;
+/// 0 = hardware concurrency).  Metrics are bit-identical across values --
+/// this axis exists to *prove* that, and to bench the scaling.
+Axis axis_sim_threads(const std::vector<int>& counts);
+/// Flash-crowd peak arrival scale (load_ramp.peak_scale); the preset's base
+/// config supplies the ramp timing and per-cell blend.
+Axis axis_load_ramp_peak(const std::vector<double>& peaks);
 
 /// One fully-expanded grid point.
 struct Scenario {

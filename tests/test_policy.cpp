@@ -237,6 +237,63 @@ TEST(HandDownPolicy, MovesRejectedRequestToIdleCarrier) {
   EXPECT_LE(grants[0].m, ctx.max_sgr);
 }
 
+/// Asymmetric reverse rise: two soft-hand-off cells, three carriers.
+/// The requesting mobile's PRIMARY leg (cell 0) sees the lowest
+/// rise on carrier 1, but its secondary leg (cell 1) is nearly at the rise
+/// cap there; carrier 2 is quiet at both legs.  Weighing the full reduced
+/// set must steer the hand-down to carrier 2, where a primary-cell-only
+/// rule would have walked into carrier 1's loaded secondary leg.
+admission::FrameContext asymmetric_rise_context() {
+  admission::FrameContext ctx;
+  ctx.now_s = 1.0;
+  ctx.num_cells = 2;
+  ctx.carriers = 3;
+  ctx.p_max_watt = 20.0;
+  ctx.l_max_watt = 4e-12;
+  // (cell, carrier) row-major: cell 0 then cell 1.
+  ctx.forward_load_watt = {3.0, 3.0, 3.0, 3.0, 3.0, 3.0};
+  ctx.reverse_interference_watt = {
+      4e-12, 1e-13, 2e-13,   // cell 0: carrier 0 at the cap, c1 quietest
+      4e-12, 3.9e-12, 1e-13  // cell 1: carrier 1 nearly at the cap
+  };
+
+  admission::FrameRequest r;
+  r.user = 0;
+  r.carrier = 0;
+  r.forward = false;  // reverse burst
+  r.q_bits = 1.0e6;
+  r.waiting_s = 0.5;
+  r.delta_beta = 1.0;
+  r.tx_cap = ctx.max_sgr;
+  r.pilot_tx_watt = 1e-15;
+  r.zeta = 2.0;
+  r.alpha_rl = 0.8;
+  r.reduced_set = {{0, 0.5}, {1, 0.5}};  // equal-gain legs
+  r.scrm_pilots = {{0, 0.5}, {1, 0.5}};
+  ctx.requests.push_back(r);
+  return ctx;
+}
+
+TEST(HandDownPolicy, ReverseHandDownWeighsRiseOverFullReducedSet) {
+  const admission::FrameContext ctx = asymmetric_rise_context();
+  const std::vector<std::size_t> round = {0};
+
+  // Carrier 0 has zero rise headroom at both legs: the base pass rejects.
+  auto base = admission::make_policy("jaba-sd");
+  EXPECT_TRUE(base->decide(ctx, mac::LinkDirection::kReverse, 0, round).empty());
+
+  // Gain-weighted rise: carrier 1 averages (1e-13 + 3.9e-12)/2, carrier 2
+  // (2e-13 + 1e-13)/2 -- carrier 2 wins despite the primary leg alone
+  // preferring carrier 1.
+  auto hand_down = admission::make_policy("hand-down");
+  const std::vector<admission::PolicyGrant> grants =
+      hand_down->decide(ctx, mac::LinkDirection::kReverse, 0, round);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].request, 0u);
+  EXPECT_EQ(grants[0].carrier, 2);
+  EXPECT_GT(grants[0].m, 0);
+}
+
 TEST(HandDownPolicy, SingleCarrierBehavesLikeBaseScheduler) {
   sim::SystemConfig cfg = sim::default_config();
   cfg.layout.rings = 1;

@@ -254,5 +254,92 @@ TEST(MultiCellSweep, ThreadCountInvarianceWithPlacementAndCarriers) {
   EXPECT_EQ(sweep::to_json(a), sweep::to_json(b));
 }
 
+// --- Flash-crowd load ramp -------------------------------------------------
+
+TEST(LoadRamp, TrapezoidShapeAndCellBlend) {
+  sim::LoadRampConfig ramp;
+  ramp.peak_scale = 5.0;
+  ramp.start_s = 10.0;
+  ramp.rise_s = 4.0;
+  ramp.hold_s = 6.0;
+  ramp.fall_s = 4.0;
+  ramp.cell_weights = {1.0, 0.5, 0.0};
+
+  EXPECT_EQ(ramp.scale(0.0, 0), 1.0);    // before the pulse
+  EXPECT_EQ(ramp.scale(9.99, 0), 1.0);
+  EXPECT_EQ(ramp.scale(12.0, 0), 3.0);   // mid-rise: halfway to 5x
+  EXPECT_EQ(ramp.scale(16.0, 0), 5.0);   // holding at peak
+  EXPECT_EQ(ramp.scale(22.0, 0), 3.0);   // mid-fall
+  EXPECT_EQ(ramp.scale(25.0, 0), 1.0);   // pulse over
+  // Per-cell blend: half-strength ring, untouched far cell.
+  EXPECT_EQ(ramp.scale(16.0, 1), 3.0);   // 1 + (5-1) * 1.0 * 0.5
+  EXPECT_EQ(ramp.scale(16.0, 2), 1.0);
+}
+
+TEST(LoadRamp, DisabledRampIsExactlyNeutral) {
+  sim::LoadRampConfig ramp;
+  ramp.start_s = 1.0;
+  ramp.rise_s = 1.0;
+  EXPECT_FALSE(ramp.enabled());
+  EXPECT_EQ(ramp.scale(2.0, 0), 1.0);
+}
+
+TEST(LoadRamp, UnitPeakLeavesSimulationBitIdentical) {
+  sim::SystemConfig cfg = sim::default_config();
+  cfg.layout.rings = 1;
+  cfg.voice.users = 8;
+  cfg.data.users = 6;
+  cfg.sim_duration_s = 6.0;
+  cfg.warmup_s = 1.0;
+  cfg.data.mean_reading_s = 0.8;
+  cfg.seed = 31337;
+  const sim::SimMetrics plain = sim::Simulator(cfg).run();
+
+  cfg.load_ramp.peak_scale = 1.0;  // configured but disabled
+  cfg.load_ramp.start_s = 2.0;
+  cfg.load_ramp.rise_s = 1.0;
+  cfg.load_ramp.hold_s = 2.0;
+  const sim::SimMetrics with_ramp = sim::Simulator(cfg).run();
+  EXPECT_EQ(plain.requests_seen, with_ramp.requests_seen);
+  EXPECT_EQ(plain.mean_delay_s(), with_ramp.mean_delay_s());
+  EXPECT_EQ(plain.data_bits_delivered, with_ramp.data_bits_delivered);
+}
+
+TEST(LoadRamp, FlashCrowdRaisesArrivals) {
+  sim::SystemConfig cfg = sim::default_config();
+  cfg.layout.rings = 1;
+  cfg.voice.users = 8;
+  cfg.data.users = 12;
+  cfg.sim_duration_s = 14.0;
+  cfg.warmup_s = 1.0;
+  cfg.data.mean_reading_s = 1.2;
+  cfg.seed = 90125;
+  const sim::SimMetrics quiet = sim::Simulator(cfg).run();
+
+  cfg.load_ramp.peak_scale = 5.0;  // all cells: empty weight list
+  cfg.load_ramp.start_s = 2.0;
+  cfg.load_ramp.rise_s = 1.0;
+  cfg.load_ramp.hold_s = 10.0;
+  cfg.load_ramp.fall_s = 1.0;
+  const sim::SimMetrics crowd = sim::Simulator(cfg).run();
+  EXPECT_GT(crowd.requests_seen, quiet.requests_seen);
+}
+
+TEST(LoadRamp, FlashCrowdPresetExpandsAndApplies) {
+  ASSERT_TRUE(sweep::has_preset("flash-crowd"));
+  sweep::SweepSpec spec = sweep::make_preset("flash-crowd");
+  EXPECT_EQ(spec.scenario_count(), 6u);
+  EXPECT_FALSE(spec.base.load_ramp.enabled());  // axis value 1.0 is the control
+  EXPECT_EQ(spec.base.load_ramp.cell_weights.size(),
+            cell::hex_cell_count(spec.base.layout.rings));
+  EXPECT_EQ(spec.base.load_ramp.cell_weights[0], 1.0);
+
+  // The ramp_peak axis switches the pulse on.
+  const sweep::Scenario peak = spec.scenario(spec.scenario_count() - 1);
+  EXPECT_TRUE(peak.config.load_ramp.enabled());
+  EXPECT_EQ(peak.config.load_ramp.peak_scale, 4.0);
+  peak.config.validate();
+}
+
 }  // namespace
 }  // namespace wcdma::scenario

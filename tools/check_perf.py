@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_frames_per_sec.json.
+
+Compares a freshly measured perf_smoke JSON against the committed baseline:
+every (cells, users, provider, sim_threads) entry present in BOTH files must
+reach at least (1 - tolerance) of the baseline frames/sec.  Entries new in
+the fresh file (new scale points, new providers) pass by definition; entries
+that disappeared fail, so scale points cannot be silently dropped.
+
+Schema-2 files carry {"scales": [{"cells", "users", "frames", "entries":
+[{"provider", "sim_threads", "fps"}]}]}; the PR 3 schema-1 layout
+({"providers": {name: fps}}) is also accepted for the baseline side, mapped
+to the 19-cell scale at sim_threads=1.
+
+Usage: check_perf.py BASELINE_JSON FRESH_JSON [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    entries = {}
+    if "scales" in doc:  # schema 2
+        for scale in doc["scales"]:
+            for e in scale["entries"]:
+                key = (scale["cells"], scale["users"], e["provider"], e["sim_threads"])
+                entries[key] = e["fps"]
+    elif "providers" in doc:  # schema 1 (PR 3)
+        for provider, fps in doc["providers"].items():
+            entries[(doc["cells"], doc["users"], provider, 1)] = fps
+    else:
+        sys.exit(f"check_perf: {path} is not a recognised perf_smoke JSON")
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = load_entries(args.baseline)
+    fresh = load_entries(args.fresh)
+
+    failures = []
+    for key, base_fps in sorted(baseline.items()):
+        cells, users, provider, threads = key
+        label = f"{cells}c/{users}u {provider} t{threads}"
+        if key not in fresh:
+            failures.append(f"{label}: entry missing from fresh run")
+            continue
+        floor = base_fps * (1.0 - args.tolerance)
+        status = "ok" if fresh[key] >= floor else "REGRESSED"
+        print(f"check_perf: {label}: base {base_fps:.0f} -> fresh "
+              f"{fresh[key]:.0f} f/s (floor {floor:.0f}) {status}")
+        if fresh[key] < floor:
+            failures.append(
+                f"{label}: {fresh[key]:.0f} f/s < floor {floor:.0f} "
+                f"({base_fps:.0f} - {args.tolerance:.0%})")
+    for key in sorted(set(fresh) - set(baseline)):
+        cells, users, provider, threads = key
+        print(f"check_perf: {cells}c/{users}u {provider} t{threads}: new entry "
+              f"{fresh[key]:.0f} f/s (no baseline)")
+
+    if failures:
+        print("check_perf: FAIL")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("check_perf: all entries within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

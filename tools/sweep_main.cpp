@@ -28,7 +28,10 @@ void print_usage() {
       "  --list-policies       list registered admission policies and exit\n"
       "  --csi-provider NAME   force a channel-state provider (exhaustive|culled)\n"
       "  --replications N      override the preset's replication count\n"
-      "  --threads N           worker threads (0 = inline; default: hardware)\n"
+      "  --threads N           sweep worker threads (0 = inline; default: hardware)\n"
+      "  --sim-threads N       intra-frame threads per simulator (0 = hardware;\n"
+      "                        default: preset base, usually 1).  Metrics are\n"
+      "                        bit-identical for every value\n"
       "  --seed N              override the master seed\n"
       "  --duration S          override per-scenario sim duration (seconds)\n"
       "  --warmup S            override per-scenario warmup (seconds)\n"
@@ -68,7 +71,8 @@ int main(int argc, char** argv) {
   std::size_t threads = common::default_thread_count();
   bool want_progress = false;
   bool have_replications = false, have_seed = false, have_duration = false;
-  bool have_warmup = false;
+  bool have_warmup = false, have_sim_threads = false;
+  std::size_t sim_threads = 0;
   std::size_t replications = 0, seed = 0;
   double duration_s = 0.0, warmup_s = 0.0;
 
@@ -117,6 +121,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       if (!parse_size(next_value(), &threads)) {
         std::fprintf(stderr, "sweep_main: bad --threads value\n");
+        return 2;
+      }
+    } else if (arg == "--sim-threads") {
+      have_sim_threads = parse_size(next_value(), &sim_threads);
+      if (!have_sim_threads) {
+        std::fprintf(stderr, "sweep_main: bad --sim-threads value\n");
         return 2;
       }
     } else if (arg == "--seed") {
@@ -198,6 +208,14 @@ int main(int argc, char** argv) {
     }
   }
   if (have_replications) spec.replications = replications;
+  if (have_sim_threads) {
+    spec.base.sim_threads = static_cast<int>(sim_threads);
+    for (sweep::Axis& axis : spec.axes) {
+      if (axis.name == "sim_threads") {
+        axis = sweep::axis_sim_threads({static_cast<int>(sim_threads)});
+      }
+    }
+  }
   if (have_seed) spec.base.seed = seed;
   if (have_duration) spec.base.sim_duration_s = duration_s;
   if (have_warmup) spec.base.warmup_s = warmup_s;

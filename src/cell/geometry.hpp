@@ -74,6 +74,26 @@ class HexLayout {
     return metric_distance(best_dx, best_dy);
   }
 
+  /// Squared distance from `p` to the nearest wrap image of cell `k`:
+  /// the multiply-add scan of distance_to_cell without the final hypot.
+  /// The relaxed-precision CSI path consumes distances only through
+  /// log2(d) = log2(d^2) / 2, so it never needs the metric root.
+  double distance_sq_to_cell(Point p, std::size_t k) const {
+    WCDMA_DEBUG_ASSERT(k < centers_.size());
+    const Point* images = &images_[k * images_per_cell_];
+    double dx = p.x - images[0].x;
+    double dy = p.y - images[0].y;
+    double best_sq = dx * dx + dy * dy;
+    if (best_sq < near_field_sq_) return best_sq;
+    for (std::size_t i = 1; i < images_per_cell_; ++i) {
+      dx = p.x - images[i].x;
+      dy = p.y - images[i].y;
+      const double sq = dx * dx + dy * dy;
+      if (sq < best_sq) best_sq = sq;
+    }
+    return best_sq;
+  }
+
   /// Index of the nearest cell (wrap-aware).
   std::size_t nearest_cell(Point p) const;
 

@@ -56,6 +56,27 @@ class PathLoss {
   /// Linear channel power *gain* (= 10^(-loss/10)), always in (0, 1].
   double gain_linear(double d_m) const { return std::pow(10.0, -loss_db(d_m) / 10.0); }
 
+  /// Every model above is affine in log10 of the clamped distance:
+  /// loss_db(d) = a + b * log10(max(d, min_distance_m)).  Exposed so the
+  /// relaxed-precision CSI path can fold the model into two constants at
+  /// init while this class stays the single source of the per-model
+  /// parameters (sim::FrameState::set_fast_math consumes it).
+  struct AffineLog10 {
+    double a_db = 0.0;
+    double b_db = 0.0;
+  };
+  AffineLog10 affine_log10() const {
+    // Derived from loss_db() itself at two points above the near-field
+    // clamp a decade apart, so no model constant is duplicated and any
+    // affine model folds correctly by construction (pinned across models
+    // by FastMath.PathLossAffineFoldMatchesEveryModel).
+    const double d1 = std::max(config_.min_distance_m, 1.0) * 2.0;
+    const double d2 = d1 * 10.0;
+    const double l1 = loss_db(d1);
+    const double b = loss_db(d2) - l1;  // log10(d2) - log10(d1) == 1
+    return {l1 - b * std::log10(d1), b};
+  }
+
   const PathLossConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,108 @@
+// Relaxed-precision transcendental kernels for the `fast` channel-state
+// provider's hot path.
+//
+// The reference frame loop spends ~85% of its time in libm (one normal draw
+// plus one log10 and two pow per live link per frame).  These kernels trade
+// the last bits of libm accuracy for a short, branch-light instruction
+// sequence:
+//
+//  * fast_exp2  -- round-to-nearest split 2^x = 2^n * 2^f with a degree-7
+//    Taylor polynomial for 2^f on f in [-0.5, 0.5] and exponent-field bit
+//    stuffing for 2^n.  Relative error < 1e-8.
+//  * fast_log2  -- exponent extraction plus an atanh-series log of the
+//    mantissa reduced to [sqrt(1/2), sqrt(2)).  Absolute error < 1e-9.
+//  * fast_exp and the dB conversions -- rescaled fast_exp2 / fast_log2.
+//
+// Contract (docs/ARCHITECTURE.md "CSI providers"): results are DETERMINISTIC
+// for a given input (pure float arithmetic, no tables, no flushing), but NOT
+// bit-identical to libm, so anything built on them must be validated at the
+// distribution level (tests/test_statcheck.cpp), never against bit-exact
+// goldens.  The default simulator path must not call into this header.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::common {
+
+/// One exp2 unit per dB: 10^(x/10) = 2^(kExp2PerDb * x).  Shared by every
+/// dB-domain fast kernel (fast_db_to_linear, the fused gain evaluation in
+/// sim::FrameState, power-control wattage refresh) so the scaling can never
+/// drift apart between them.
+inline constexpr double kExp2PerDb = 0.33219280948873623;  // log2(10) / 10
+
+namespace detail {
+
+inline double bits_to_double(std::uint64_t bits) {
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+inline std::uint64_t double_to_bits(double x) {
+  std::uint64_t out;
+  std::memcpy(&out, &x, sizeof(out));
+  return out;
+}
+
+}  // namespace detail
+
+/// 2^x for x in [-1020, 1020]; inputs outside are clamped (the fused
+/// dB->linear evaluations this serves live around [-80, 10]).
+inline double fast_exp2(double x) {
+  if (x < -1020.0) x = -1020.0;
+  if (x > 1020.0) x = 1020.0;
+  const double n = std::floor(x + 0.5);
+  // f in [-0.5, 0.5]; 2^f = e^(f ln 2), degree-7 Taylor in z = f ln 2
+  // (|z| <= 0.347 -> truncation error < 6e-9 relative).
+  const double z = (x - n) * 0.69314718055994531;
+  const double p =
+      1.0 +
+      z * (1.0 +
+           z * (0.5 +
+                z * (1.0 / 6.0 +
+                     z * (1.0 / 24.0 +
+                          z * (1.0 / 120.0 +
+                               z * (1.0 / 720.0 + z * (1.0 / 5040.0)))))));
+  const std::uint64_t exponent_bits =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(n) + 1023) << 52;
+  return p * detail::bits_to_double(exponent_bits);
+}
+
+/// log2(x) for finite normal x > 0 (distances and powers on the hot path are
+/// clamped well away from zero; subnormals are out of contract).
+inline double fast_log2(double x) {
+  WCDMA_DEBUG_ASSERT(x > 0.0 && std::isfinite(x));
+  const std::uint64_t bits = detail::double_to_bits(x);
+  std::int64_t e = static_cast<std::int64_t>((bits >> 52) & 0x7ff) - 1023;
+  double m = detail::bits_to_double((bits & 0x000fffffffffffffULL) |
+                                    (std::uint64_t{1023} << 52));  // [1, 2)
+  if (m > 1.4142135623730951) {  // re-centre on 1: m in [sqrt(1/2), sqrt(2))
+    m *= 0.5;
+    ++e;
+  }
+  // ln m = 2 atanh(t), t = (m-1)/(m+1), |t| <= 0.1716; the odd series
+  // through t^11 truncates below 4e-11.
+  const double t = (m - 1.0) / (m + 1.0);
+  const double t2 = t * t;
+  const double ln_m =
+      2.0 * t *
+      (1.0 +
+       t2 * (1.0 / 3.0 +
+             t2 * (1.0 / 5.0 + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0 + t2 / 11.0)))));
+  return static_cast<double>(e) + ln_m * 1.4426950408889634;
+}
+
+/// e^x (clamped like fast_exp2).
+inline double fast_exp(double x) { return fast_exp2(x * 1.4426950408889634); }
+
+/// 10 log10(x): the relaxed twin of common::linear_to_db.
+inline double fast_linear_to_db(double x) { return fast_log2(x) * 3.0102999566398120; }
+
+/// 10^(db/10): the relaxed twin of common::db_to_linear.
+inline double fast_db_to_linear(double db) { return fast_exp2(db * kExp2PerDb); }
+
+}  // namespace wcdma::common

@@ -2,11 +2,20 @@
 // benchmark harnesses: Welford moments, fixed-bin histograms with percentile
 // queries, and batch-mean confidence intervals for Monte-Carlo replication
 // merging.
+//
+// The statistical-equivalence toolkit at the bottom (two-sample KS test,
+// Welch mean-difference interval, per-metric tolerance specs) is the
+// acceptance machinery for every optimisation that gives up bit-identity:
+// tests/test_statcheck.cpp runs paired common-random-number sweeps of the
+// reference and relaxed implementations and asserts the paper's headline
+// metrics agree under these tests.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 namespace wcdma::common {
@@ -71,5 +80,55 @@ ConfidenceInterval confidence_interval_95(const std::vector<double>& replication
 /// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair.
 /// Returns 1 for empty or all-zero input.
 double jain_fairness(const std::vector<double>& x);
+
+// --- Statistical-equivalence toolkit ---------------------------------------
+
+/// Two-sample Kolmogorov-Smirnov test result.
+struct KsTest {
+  double statistic = 0.0;  // sup |F_a - F_b|
+  double p_value = 1.0;    // asymptotic (Stephens-corrected) significance
+  std::size_t n = 0, m = 0;
+};
+
+/// Two-sample KS test of samples `a` vs `b` (copies are sorted internally).
+/// Both samples must be non-empty.  The p-value uses the asymptotic
+/// Kolmogorov distribution with the Stephens small-sample correction
+/// (Numerical Recipes), adequate for n, m >= ~8 at the significance levels
+/// the equivalence suites use (reject well below 1e-2).
+KsTest ks_two_sample(std::vector<double> a, std::vector<double> b);
+
+/// Welch (unequal-variance) 95% confidence interval on mean(a) - mean(b),
+/// with the Welch-Satterthwaite degrees of freedom.
+struct WelchInterval {
+  double mean_diff = 0.0;
+  double half_width = 0.0;  // 95% CI: mean_diff +/- half_width
+  double df = 0.0;
+  bool contains_zero() const {
+    return mean_diff - half_width <= 0.0 && 0.0 <= mean_diff + half_width;
+  }
+  /// TOST-style equivalence: the whole 95% interval of the difference lies
+  /// inside [-margin, +margin] (|diff| + half_width <= margin).  This gets
+  /// HARDER to pass as the data gets noisier -- an under-powered comparison
+  /// fails instead of passing vacuously, which is the property an
+  /// acceptance gate needs.
+  bool within(double margin) const {
+    return std::abs(mean_diff) + half_width <= margin;
+  }
+};
+WelchInterval welch_difference_95(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Declared per-metric agreement bound: |a - b| must not exceed
+/// max(abs_tol, rel_tol * max(|a|, |b|)).  The specs live next to the
+/// equivalence tests so every relaxed-precision acceptance documents its
+/// tolerances explicitly.
+struct MetricTolerance {
+  const char* metric = "";
+  double rel_tol = 0.0;
+  double abs_tol = 0.0;
+};
+bool within_tolerance(double a, double b, const MetricTolerance& tol);
+/// Human-readable pass/fail line for test diagnostics.
+std::string tolerance_report(double a, double b, const MetricTolerance& tol);
 
 }  // namespace wcdma::common

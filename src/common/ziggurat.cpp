@@ -1,0 +1,66 @@
+#include "src/common/ziggurat.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace wcdma::common {
+
+namespace {
+
+/// Right edge of the base strip and the common strip area for 256 layers
+/// (Marsaglia & Tsang constants).
+constexpr double kTailCut = 3.6541528853610088;
+constexpr double kStripArea = 4.92867323399e-3;
+constexpr double kTwo53 = 9007199254740992.0;  // magnitudes are 53-bit
+
+}  // namespace
+
+ZigguratNormal::ZigguratNormal() : tables_(&shared_tables()) {}
+
+const ZigguratNormal::Tables& ZigguratNormal::shared_tables() {
+  static const Tables tables = [] {
+    Tables t{};
+    double dn = kTailCut;
+    double tn = kTailCut;
+    // Layer 0 is the base strip plus the tail, stretched so a uniform
+    // 53-bit magnitude below k[0] lands in the strip proper.
+    const double q = kStripArea / std::exp(-0.5 * dn * dn);
+    t.k[0] = static_cast<std::uint64_t>((dn / q) * kTwo53);
+    t.k[1] = 0;
+    t.w[0] = q / kTwo53;
+    t.w[255] = dn / kTwo53;
+    t.f[0] = 1.0;
+    t.f[255] = std::exp(-0.5 * dn * dn);
+    for (int i = 254; i >= 1; --i) {
+      dn = std::sqrt(-2.0 * std::log(kStripArea / dn + std::exp(-0.5 * dn * dn)));
+      t.k[i + 1] = static_cast<std::uint64_t>((dn / tn) * kTwo53);
+      tn = dn;
+      t.f[i] = std::exp(-0.5 * dn * dn);
+      t.w[i] = dn / kTwo53;
+    }
+    return t;
+  }();
+  return tables;
+}
+
+double ZigguratNormal::draw_slow(Rng& rng, std::size_t layer, double x) const {
+  if (layer == 0) {
+    // Exponential-majorised tail beyond kTailCut (Marsaglia's method).
+    // 1 - uniform() is in (0, 1], so the logs stay finite.
+    double xx, yy;
+    do {
+      xx = -std::log(1.0 - rng.uniform()) / kTailCut;
+      yy = -std::log(1.0 - rng.uniform());
+    } while (yy + yy < xx * xx);
+    return kTailCut + xx;
+  }
+  // Wedge between the strip top and the density curve.
+  const double fx = std::exp(-0.5 * x * x);
+  if (tables_->f[layer] + rng.uniform() * (tables_->f[layer - 1] - tables_->f[layer]) <
+      fx) {
+    return x;
+  }
+  return std::numeric_limits<double>::quiet_NaN();  // rejected: caller redraws
+}
+
+}  // namespace wcdma::common

@@ -1,0 +1,66 @@
+// Ziggurat standard-normal sampler (Marsaglia & Tsang, 256 layers, 64-bit).
+//
+// The reference draw path, common::Rng::normal(), is a polar Box-Muller:
+// an acceptance loop of ~1.27 uniform pairs plus a log and a sqrt per pair.
+// The ziggurat replaces that with one 64-bit draw, a table compare, and one
+// multiply for ~99% of samples; the tail and wedge corrections keep the
+// OUTPUT DISTRIBUTION exactly N(0, 1), so only the mapping from RNG stream
+// to sample sequence changes, never the statistics.  This is what the
+// `fast` channel-state provider uses for shadowing/fading innovations --
+// deterministic for a given stream, but a different sequence than normal(),
+// hence validated at the distribution level (moment and KS property tests
+// in tests/test_statcheck.cpp) instead of against bit-exact goldens.
+//
+// The 256-layer tables are built once (thread-safe magic static) from libm;
+// draw() itself touches no libm in the common case.  Instances are
+// stateless handles onto the shared tables, so embedding one per FrameState
+// costs a pointer and no setup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+
+namespace wcdma::common {
+
+class ZigguratNormal {
+ public:
+  /// Binds to the process-wide tables (built on first use).
+  ZigguratNormal();
+
+  /// One standard-normal sample from `rng`'s stream.
+  double draw(Rng& rng) const {
+    for (;;) {
+      const std::uint64_t u = rng.next_u64();
+      const std::size_t layer = u & 0xff;
+      const std::uint64_t magnitude = u >> 11;  // 53 bits
+      const double x = static_cast<double>(magnitude) * tables_->w[layer];
+      if (magnitude < tables_->k[layer]) return (u & 0x100) ? -x : x;
+      const double slow = draw_slow(rng, layer, x);
+      if (slow == slow) return (u & 0x100) ? -slow : slow;  // NaN = rejected
+    }
+  }
+
+  /// Batched draws: fills out[0..n) from one stream (the SoA-lane batch API
+  /// the fast provider and the property tests share).
+  void fill(Rng& rng, double* out, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = draw(rng);
+  }
+
+ private:
+  struct Tables {
+    std::uint64_t k[256];
+    double w[256];
+    double f[256];
+  };
+
+  static const Tables& shared_tables();
+  /// Tail (layer 0) and wedge acceptance; returns the positive sample or
+  /// NaN when the wedge rejects (caller redraws).
+  double draw_slow(Rng& rng, std::size_t layer, double x) const;
+
+  const Tables* tables_;
+};
+
+}  // namespace wcdma::common

@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/fastmath.hpp"
+
 namespace wcdma::power {
+
+namespace {
+
+/// Shared inner-loop step: returns the clamped new power for one frame of
+/// aggregated +/-step commands.
+inline double stepped_power_dbm(const PowerControlConfig& config, double power_dbm,
+                                double target_sir_db, double measured_sir_db) {
+  const double error = target_sir_db - measured_sir_db;
+  const double max_swing = config.step_db * static_cast<double>(config.commands_per_frame);
+  const double correction = std::clamp(error, -max_swing, max_swing);
+  return std::clamp(power_dbm + correction, config.min_power_dbm,
+                    config.max_power_dbm);
+}
+
+}  // namespace
 
 ClosedLoopPowerControl::ClosedLoopPowerControl(const PowerControlConfig& config,
                                                double initial_power_dbm)
@@ -17,12 +34,15 @@ ClosedLoopPowerControl::ClosedLoopPowerControl(const PowerControlConfig& config,
 }
 
 double ClosedLoopPowerControl::update(double measured_sir_db) {
-  const double error = target_sir_db_ - measured_sir_db;
-  const double max_swing = config_.step_db * static_cast<double>(config_.commands_per_frame);
-  const double correction = std::clamp(error, -max_swing, max_swing);
-  power_dbm_ = std::clamp(power_dbm_ + correction, config_.min_power_dbm,
-                          config_.max_power_dbm);
+  power_dbm_ = stepped_power_dbm(config_, power_dbm_, target_sir_db_, measured_sir_db);
   power_watt_ = to_watt(power_dbm_);
+  saturated_ = power_dbm_ >= config_.max_power_dbm - 1e-12;
+  return power_dbm_;
+}
+
+double ClosedLoopPowerControl::update_fast(double measured_sir_db) {
+  power_dbm_ = stepped_power_dbm(config_, power_dbm_, target_sir_db_, measured_sir_db);
+  power_watt_ = common::fast_db_to_linear(power_dbm_ - 30.0);  // dBm -> W
   saturated_ = power_dbm_ >= config_.max_power_dbm - 1e-12;
   return power_dbm_;
 }

@@ -31,6 +31,13 @@ class ClosedLoopPowerControl {
   /// measured SIR (dB).  Returns the new transmit power (dBm).
   double update(double measured_sir_db);
 
+  /// update() with the dBm -> W refresh evaluated through the relaxed-
+  /// precision fast_exp2 kernel instead of libm pow.  Same clamping and
+  /// saturation logic; only the cached wattage differs (relative error
+  /// < 1e-8).  Reserved for the `fast` CSI provider's frame loop -- the
+  /// default path must keep update() for bit-identity.
+  double update_fast(double measured_sir_db);
+
   double power_dbm() const { return power_dbm_; }
   /// Cached dBm -> W conversion; refreshed whenever power_dbm_ moves, so the
   /// hot loops that read it several times per frame pay the pow() once.

@@ -46,17 +46,23 @@ class ExhaustiveChannelProvider final : public ChannelStateProvider {
 
 /// Neighbour-culling provider: each user maintains a candidate-cell set
 /// (active-set members plus cells within the pilot-floor radius), refreshed
-/// on a slow timer; only candidate links advance each frame.
+/// on a slow timer; only candidate links advance each frame.  With
+/// `fast_math` the same candidate/epoch machinery drives the FrameState's
+/// relaxed-precision link kernels instead of the bit-identical ones -- the
+/// registry exposes that composition as the "fast" provider.
 class CulledChannelProvider final : public ChannelStateProvider {
  public:
-  explicit CulledChannelProvider(const CsiConfig& csi) : csi_(csi) {}
+  CulledChannelProvider(const CsiConfig& csi, bool fast_math)
+      : csi_(csi), fast_math_(fast_math) {}
 
   void init(const cell::HexLayout* layout, std::size_t num_users,
             FrameState* state) override {
     WCDMA_ASSERT(layout != nullptr && state != nullptr);
     layout_ = layout;
     state_ = state;
+    state_->set_fast_math(fast_math_);
     radius_m_ = csi_.cull_radius_scale * layout_->cell_radius_m();
+    radius_sq_m_ = radius_m_ * radius_m_;
     candidates_.assign(num_users, {});
     refresh_left_s_.assign(num_users, 0.0);
     epoch_.store(1, std::memory_order_relaxed);
@@ -82,14 +88,23 @@ class CulledChannelProvider final : public ChannelStateProvider {
     return epoch_.load(std::memory_order_relaxed);
   }
 
-  std::string name() const override { return "culled"; }
+  std::string name() const override { return fast_math_ ? "fast" : "culled"; }
 
  private:
   void refresh(std::size_t user, cell::Point pos, const ChannelUserView& view) {
     refresh_left_s_[user] = csi_.refresh_interval_s;
     std::vector<std::size_t> next;
-    for (std::size_t k = 0; k < layout_->num_cells(); ++k) {
-      if (layout_->distance_to_cell(pos, k) <= radius_m_) next.push_back(k);
+    if (fast_math_) {
+      // Same radius test in the squared domain: no hypot per (user, cell).
+      // (Kept off the reference `culled` path only to preserve its pinned
+      // bit-exact trajectories; the comparison is mathematically the same.)
+      for (std::size_t k = 0; k < layout_->num_cells(); ++k) {
+        if (layout_->distance_sq_to_cell(pos, k) <= radius_sq_m_) next.push_back(k);
+      }
+    } else {
+      for (std::size_t k = 0; k < layout_->num_cells(); ++k) {
+        if (layout_->distance_to_cell(pos, k) <= radius_m_) next.push_back(k);
+      }
     }
     // Active-set members stay candidates until hand-off drops them, even
     // when the user has moved past the radius (hysteresis consistency).
@@ -109,9 +124,11 @@ class CulledChannelProvider final : public ChannelStateProvider {
   }
 
   CsiConfig csi_;
+  bool fast_math_ = false;
   const cell::HexLayout* layout_ = nullptr;
   FrameState* state_ = nullptr;
   double radius_m_ = 0.0;
+  double radius_sq_m_ = 0.0;
   std::vector<std::vector<std::size_t>> candidates_;
   std::vector<double> refresh_left_s_;
   std::atomic<std::uint64_t> epoch_{1};
@@ -128,7 +145,11 @@ std::unique_ptr<ChannelStateProvider> build_exhaustive(const CsiConfig&) {
 }
 
 std::unique_ptr<ChannelStateProvider> build_culled(const CsiConfig& csi) {
-  return std::make_unique<CulledChannelProvider>(csi);
+  return std::make_unique<CulledChannelProvider>(csi, /*fast_math=*/false);
+}
+
+std::unique_ptr<ChannelStateProvider> build_fast(const CsiConfig& csi) {
+  return std::make_unique<CulledChannelProvider>(csi, /*fast_math=*/true);
 }
 
 const ProviderEntry kProviders[] = {
@@ -136,6 +157,10 @@ const ProviderEntry kProviders[] = {
      build_exhaustive},
     {"culled", "active set + pilot-floor radius candidates on a slow refresh timer",
      build_culled},
+    {"fast",
+     "culled candidates + relaxed-precision link math (fused exp2 gains, "
+     "ziggurat draws); statistically equivalent, not bit-identical",
+     build_fast},
 };
 
 const ProviderEntry* find_provider(const std::string& name) {

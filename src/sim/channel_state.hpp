@@ -17,6 +17,11 @@
 //    link keeps its own RNG stream, so a candidate link's realisation is
 //    identical to the exhaustive provider's for as long as it stays in the
 //    set -- culling only drops far-cell contributions.
+//  * "fast" -- the same candidate/epoch machinery with the FrameState
+//    switched onto relaxed-precision link kernels (fused exp2 composite
+//    gains, ziggurat Gaussian draws).  Deterministic per seed and
+//    statistically equivalent to the reference (tests/test_statcheck.cpp),
+//    but NOT bit-identical; tolerance goldens, never bit-exact ones.
 //
 // step_user() is called from the simulator's sharded frame loops and must
 // be safe for concurrent distinct users; candidate_epoch() tells the
@@ -71,7 +76,8 @@ class ChannelStateProvider {
 };
 
 // --- Registry: string-keyed factories --------------------------------------
-/// Registered provider names, in registry order ("exhaustive", "culled").
+/// Registered provider names, in registry order ("exhaustive", "culled",
+/// "fast").
 std::vector<std::string> channel_provider_names();
 bool has_channel_provider(const std::string& name);
 /// Builds the provider named by `csi.provider`; aborts on unknown names.

@@ -129,10 +129,13 @@ struct LoadRampConfig {
 /// Channel-state (CSI) computation backend: which cells get live link state
 /// each frame.  "exhaustive" is the bit-identical reference; "culled" keeps
 /// a per-user candidate-cell set (active set + pilot-floor radius) on a
-/// slow refresh timer so per-frame link state is O(users x nearby-cells).
+/// slow refresh timer so per-frame link state is O(users x nearby-cells);
+/// "fast" is culled plus relaxed-precision link math (fused exp2 composite
+/// gains, ziggurat Gaussian draws) -- statistically equivalent to the
+/// reference under tests/test_statcheck.cpp tolerances, not bit-identical.
 struct CsiConfig {
   std::string provider = "exhaustive";  // sim::channel_provider_names()
-  /// Seconds between candidate-set rebuilds (culled provider only).
+  /// Seconds between candidate-set rebuilds (culled/fast providers only).
   double refresh_interval_s = 0.5;
   /// Candidate radius as a multiple of the cell radius: beyond it a pilot
   /// sits under the active-set add floor and the cell is culled.  2.0 keeps

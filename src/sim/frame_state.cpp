@@ -1,10 +1,18 @@
 #include "src/sim/frame_state.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/common/fastmath.hpp"
 #include "src/sim/channel_state.hpp"
 
 namespace wcdma::sim {
+
+namespace {
+
+using common::kExp2PerDb;  // one exp2 unit per dB, shared with fastmath
+
+}  // namespace
 
 void FrameState::init(const cell::HexLayout* layout, const channel::PathLoss* path_loss,
                       const channel::ShadowingConfig& shadowing,
@@ -24,6 +32,7 @@ void FrameState::init(const cell::HexLayout* layout, const channel::PathLoss* pa
   const std::size_t links = num_users_ * num_cells_;
   shadow_rng_.resize(links);
   shadow_db_.assign(links, 0.0);
+  fast_shadow_rng_.resize(num_users_);
   gain_mean_.assign(links, 0.0);
   pilot_fl_.assign(links, 0.0);
   if (fading_kind_ == channel::FadingKind::kAr1) {
@@ -51,6 +60,9 @@ void FrameState::init_user(std::size_t user, const common::Rng& user_rng,
     fade_rho_[user] = rho;
     fade_innovation_[user] = std::sqrt(std::max(0.0, 1.0 - rho * rho) * 0.5);
   }
+  // Fast-mode batch stream; an unused fork never perturbs the legacy
+  // streams (fork() is const on the parent).
+  fast_shadow_rng_[user] = user_rng.fork(7);
   for (std::size_t k = 0; k < num_cells_; ++k) {
     const std::size_t idx = link_index(user, k);
     const common::Rng link_rng = user_rng.fork(100 + k);
@@ -78,8 +90,28 @@ void FrameState::init_user(std::size_t user, const common::Rng& user_rng,
   }
 }
 
+void FrameState::set_fast_math(bool on) {
+  fast_math_ = on;
+  if (!on) return;
+  WCDMA_ASSERT(path_loss_ != nullptr && "set_fast_math requires init()");
+  // Every registered path-loss model is affine in log10(d) (after the
+  // near-field clamp): loss_db(d) = A + B log10(d), with (A, B) owned by
+  // PathLoss itself.  Fold them once so the per-link evaluation is a
+  // single fused exp2.
+  const channel::PathLoss::AffineLog10 loss = path_loss_->affine_log10();
+  fast_gain_bias_ = -kExp2PerDb * loss.a_db;
+  fast_log2_slope_ = loss.b_db / 10.0;  // kExp2PerDb * B * log10(2) == B / 10
+  const double min_d = path_loss_->config().min_distance_m;
+  fast_min_distance_sq_m_ = min_d * min_d;
+  fast_inv_decorr_m_ = 1.0 / shadowing_.decorrelation_m;
+}
+
 void FrameState::step_user_links(std::size_t user, cell::Point pos, double moved_m,
                                  const std::size_t* cells, std::size_t count) {
+  if (fast_math_) {
+    step_user_links_fast(user, pos, moved_m, cells, count);
+    return;
+  }
   // One exp/sqrt pair per user: every link of a mobile travels the same
   // distance this frame (bit-identical to the per-link evaluation).
   const double rho = channel::Shadowing::correlation(shadowing_, moved_m);
@@ -95,6 +127,42 @@ void FrameState::step_user_links(std::size_t user, cell::Point pos, double moved
   }
 }
 
+void FrameState::step_user_links_fast(std::size_t user, cell::Point pos,
+                                      double moved_m, const std::size_t* cells,
+                                      std::size_t count) {
+  // Same AR(1) recursion and per-link streams as the reference path; the
+  // innovations come from the ziggurat and the composite gain from one
+  // fused fast_exp2 per link instead of the pow/log10 pair.
+  const double rho = common::fast_exp(-std::fabs(moved_m) * fast_inv_decorr_m_);
+  const double innovation =
+      shadowing_.sigma_db * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  const std::size_t row = user * num_cells_;
+  common::Rng& batch_rng = fast_shadow_rng_[user];
+  constexpr std::size_t kLane = 32;
+  double z[kLane];
+  for (std::size_t base = 0; base < count; base += kLane) {
+    const std::size_t n = std::min(kLane, count - base);
+    // Two passes over each lane block: the whole innovation batch first
+    // (one register-resident stream per user), then the pure-arithmetic
+    // gain updates.
+    zig_.fill(batch_rng, z, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t k = cells[base + i];
+      const std::size_t idx = row + k;
+      // Distances feed the gain only through B log10(d) = (B/2) log10(d^2),
+      // so the squared distance goes straight into fast_log2 -- no
+      // hypot/sqrt per link.
+      const double d_sq =
+          std::max(layout_->distance_sq_to_cell(pos, k), fast_min_distance_sq_m_);
+      const double shadow_db = rho * shadow_db_[idx] + innovation * z[i];
+      shadow_db_[idx] = shadow_db;
+      gain_mean_[idx] =
+          common::fast_exp2(kExp2PerDb * shadow_db + fast_gain_bias_ -
+                            fast_log2_slope_ * 0.5 * common::fast_log2(d_sq));
+    }
+  }
+}
+
 double FrameState::fading_factor(std::size_t user, std::size_t cell) {
   const std::size_t idx = link_index(user, cell);
   switch (fading_kind_) {
@@ -103,9 +171,16 @@ double FrameState::fading_factor(std::size_t user, std::size_t cell) {
       const double innovation = fade_innovation_[user];
       double re = fade_re_[idx], im = fade_im_[idx];
       common::Rng& rng = fade_rng_[idx];
-      for (std::int64_t f = fade_frame_[idx]; f < frame_; ++f) {
-        re = rho * re + rng.normal(0.0, innovation);
-        im = rho * im + rng.normal(0.0, innovation);
+      if (fast_math_) {
+        for (std::int64_t f = fade_frame_[idx]; f < frame_; ++f) {
+          re = rho * re + innovation * zig_.draw(rng);
+          im = rho * im + innovation * zig_.draw(rng);
+        }
+      } else {
+        for (std::int64_t f = fade_frame_[idx]; f < frame_; ++f) {
+          re = rho * re + rng.normal(0.0, innovation);
+          im = rho * im + rng.normal(0.0, innovation);
+        }
       }
       fade_re_[idx] = re;
       fade_im_[idx] = im;
@@ -152,6 +227,21 @@ void FrameState::refresh_candidate_index(const ChannelStateProvider& provider) {
     }
   }
   transpose_offsets_.pop_back();
+}
+
+bool FrameState::candidate_index_matches(const ChannelStateProvider& provider) const {
+  if (csr_offsets_.size() != num_users_ + 1) return false;
+  std::size_t transpose_total = 0;
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    const std::vector<std::size_t>& live = provider.cells_for(u);
+    if (candidate_count(u) != live.size()) return false;
+    const std::uint32_t* cand = candidates_begin(u);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (cand[i] != live[i]) return false;
+    }
+    transpose_total += live.size();
+  }
+  return transpose_users_.size() == transpose_total;
 }
 
 }  // namespace wcdma::sim

@@ -40,6 +40,7 @@
 #include "src/channel/shadowing.hpp"
 #include "src/common/assert.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/ziggurat.hpp"
 
 namespace wcdma::sim {
 
@@ -54,6 +55,18 @@ class FrameState {
   /// Builds one user's per-cell link state, consuming `user_rng` streams
   /// exactly as the legacy per-user std::vector<channel::Link> did.
   void init_user(std::size_t user, const common::Rng& user_rng, double doppler_hz);
+
+  /// Switches link stepping and AR(1) fading replay onto the relaxed-
+  /// precision kernels (common/fastmath.hpp + ziggurat draws): the fused
+  /// dB->linear composite gain replaces the per-link pow/log10 pair, and
+  /// shadowing/fading innovations come from the ziggurat instead of polar
+  /// Box-Muller.  Same per-link RNG streams, same lazy-replay contract,
+  /// same candidate semantics -- but NOT bit-identical to the default path,
+  /// so only the `fast` channel-state provider may flip this.  Must be
+  /// called after init() (it folds the path-loss model into affine
+  /// log-domain constants).  Jakes fading keeps the reference generator.
+  void set_fast_math(bool on);
+  bool fast_math() const { return fast_math_; }
 
   /// Starts a new frame (advances the lazy-fading clock).  Call once per
   /// simulator frame before stepping any user.
@@ -111,7 +124,16 @@ class FrameState {
     return transpose_offsets_[cell + 1] - transpose_offsets_[cell];
   }
 
+  /// Cross-checks the CSR candidate index (and its transpose sizing)
+  /// against the provider's live per-user candidate sets: the
+  /// candidate-epoch contract says they may only disagree if the provider
+  /// changed a set without moving its epoch.  Test/debug hook for the
+  /// epoch regression suite; O(users x candidates).
+  bool candidate_index_matches(const ChannelStateProvider& provider) const;
+
  private:
+  void step_user_links_fast(std::size_t user, cell::Point pos, double moved_m,
+                            const std::size_t* cells, std::size_t count);
   std::size_t link_index(std::size_t user, std::size_t cell) const {
     WCDMA_DEBUG_ASSERT(user < num_users_ && cell < num_cells_);
     return user * num_cells_ + cell;
@@ -130,6 +152,13 @@ class FrameState {
   // Per-link shadowing state (stepped eagerly for candidates).
   std::vector<common::Rng> shadow_rng_;
   std::vector<double> shadow_db_;
+  // Fast-mode innovation streams: one per USER, not per link -- the batch
+  // of a user's per-candidate innovations comes from a single stream whose
+  // state stays in registers across the lane loop (the per-link streams
+  // exist for the reference path's lazy bit-identity contract, which the
+  // relaxed provider explicitly does not promise; the innovations stay iid
+  // N(0,1) across links either way).
+  std::vector<common::Rng> fast_shadow_rng_;
 
   // Per-link AR(1) fading state (advanced lazily).  rho/innovation depend
   // only on the user's Doppler, so they live per user.
@@ -145,6 +174,17 @@ class FrameState {
   // Per-frame link outputs (flat, stride num_cells_).
   std::vector<double> gain_mean_;
   std::vector<double> pilot_fl_;
+
+  // Relaxed-precision mode (the `fast` provider): the path-loss model is
+  // affine in log10(d), so loss_db(d) = A + B log10(d) folds with the
+  // dB->linear conversion into one fast_exp2 per link:
+  //   gain = 2^(K (shadow_db - A) - (B / 10) log2(d)),  K = log2(10) / 10.
+  bool fast_math_ = false;
+  double fast_gain_bias_ = 0.0;      // -K * A
+  double fast_log2_slope_ = 0.0;     // B / 10
+  double fast_min_distance_sq_m_ = 0.0;  // near-field clamp, squared metres
+  double fast_inv_decorr_m_ = 0.0;   // 1 / shadowing decorrelation distance
+  common::ZigguratNormal zig_;
 
   // CSR candidate index + transpose, valid for candidate_epoch_.
   std::vector<std::uint32_t> csr_offsets_, csr_cells_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/assert.hpp"
+#include "src/common/fastmath.hpp"
 #include "src/common/units.hpp"
 
 namespace wcdma::sim {
@@ -55,6 +56,7 @@ Simulator::Simulator(const SystemConfig& config)
   noise_w_ = common::thermal_noise_watt(config_.spreading.chip_rate_hz,
                                         config_.radio.noise_figure_db);
   l_max_w_ = noise_w_ * common::db_to_linear(config_.radio.rise_over_thermal_db);
+  mobile_max_w_ = common::dbm_to_watt(config_.radio.mobile_max_power_dbm);
   fch_pg_ = config_.spreading.chip_rate_hz / config_.spreading.fch_bit_rate;
   fch_sir_target_ = common::db_to_linear(config_.radio.fch_ebio_target_db);
 
@@ -176,6 +178,9 @@ Simulator::Simulator(const SystemConfig& config)
   }
 
   csi_->init(&layout_, users_.size(), &state_);
+  // The provider may have armed the FrameState's relaxed-precision kernels;
+  // mirror that into the per-user loops (power-control dB conversions).
+  fast_math_ = state_.fast_math();
 }
 
 SimMetrics Simulator::run() {
@@ -285,10 +290,21 @@ void Simulator::forward_measure_user(std::size_t shard, std::size_t i) {
       // comparisons run directly on the linear pilots (order statistics are
       // domain-invariant), skipping the per-cell dB conversion.
       scratch.pilot_pairs.clear();
-      for (std::size_t c = 0; c < n_cand; ++c) {
-        const std::size_t k = cand[c];
-        pilot[k] = config_.radio.pilot_power_w * gain[k] / total;
-        scratch.pilot_pairs.push_back({k, pilot[k]});
+      if (fast_math_) {
+        // Relaxed path: one reciprocal per user instead of one divide per
+        // candidate (differs from x / total in the last ulp only).
+        const double inv_total = config_.radio.pilot_power_w / total;
+        for (std::size_t c = 0; c < n_cand; ++c) {
+          const std::size_t k = cand[c];
+          pilot[k] = gain[k] * inv_total;
+          scratch.pilot_pairs.push_back({k, pilot[k]});
+        }
+      } else {
+        for (std::size_t c = 0; c < n_cand; ++c) {
+          const std::size_t k = cand[c];
+          pilot[k] = config_.radio.pilot_power_w * gain[k] / total;
+          scratch.pilot_pairs.push_back({k, pilot[k]});
+        }
       }
       u.active_set.update_sparse_linear(scratch.pilot_pairs, config_.frame_s);
     }
@@ -329,6 +345,11 @@ void Simulator::step_reverse_measurements() {
 }
 
 void Simulator::step_power_control() {
+  // The relaxed-precision provider extends to this per-user loop: the SIR
+  // dB conversions and the power-control wattage refresh go through the
+  // fastmath kernels when (and only when) the `fast` CSI provider armed the
+  // FrameState -- the default path keeps libm bit-identity.
+  const bool fast = fast_math_;
   for (std::size_t i = 0; i < users_.size(); ++i) {
     User& u = users_[i];
     u.fch_on = u.is_data
@@ -356,7 +377,11 @@ void Simulator::step_power_control() {
           std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
           u.active_set.reverse_adjustment();
       u.fch_sir_linear = std::max(sir, kTiny);
-      u.rl_pc.update(common::linear_to_db(u.fch_sir_linear));
+      if (fast) {
+        u.rl_pc.update_fast(common::fast_linear_to_db(u.fch_sir_linear));
+      } else {
+        u.rl_pc.update(common::linear_to_db(u.fch_sir_linear));
+      }
       if (u.rl_pc.saturated() && !in_warmup()) ++metrics_.mobile_power_saturations;
     } else {
       // Forward FCH power control (voice users and forward data users).
@@ -364,11 +389,16 @@ void Simulator::step_power_control() {
       const double sir = u.fl_pc.power_watt() * state_.gain_mean(i, prim) * fch_pg_ /
                          std::max(u.fwd_interference_eff_w, kTiny);
       u.fch_sir_linear = std::max(sir, kTiny);
-      u.fl_pc.update(common::linear_to_db(u.fch_sir_linear));
+      const double sir_db = fast ? common::fast_linear_to_db(u.fch_sir_linear)
+                                 : common::linear_to_db(u.fch_sir_linear);
+      if (fast) {
+        u.fl_pc.update_fast(sir_db);
+      } else {
+        u.fl_pc.update(sir_db);
+      }
       if (u.fl_pc.saturated() && !in_warmup()) ++metrics_.bs_power_saturations;
       if (!u.is_data && !in_warmup()) {
-        metrics_.voice_sir_error_db.add(common::linear_to_db(u.fch_sir_linear) -
-                                        config_.radio.fch_ebio_target_db);
+        metrics_.voice_sir_error_db.add(sir_db - config_.radio.fch_ebio_target_db);
       }
     }
     // Reverse-link voice/forward-data users still transmit a reverse pilot +
@@ -381,7 +411,11 @@ void Simulator::step_power_control() {
           fch_tx * state_.gain_mean(i, prim) * fch_pg_ /
           std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
           u.active_set.reverse_adjustment();
-      u.rl_pc.update(common::linear_to_db(std::max(sir, kTiny)));
+      if (fast) {
+        u.rl_pc.update_fast(common::fast_linear_to_db(std::max(sir, kTiny)));
+      } else {
+        u.rl_pc.update(common::linear_to_db(std::max(sir, kTiny)));
+      }
     }
   }
 }
@@ -438,7 +472,7 @@ int Simulator::mobile_tx_upper_bound(const User& u) const {
   // Reverse-link SGR cap from the mobile's power budget: total TX =
   // pilot * (1 + zeta + gamma_s * m * zeta) <= max.
   const double pilot = u.rl_pc.power_watt();
-  const double max_w = common::dbm_to_watt(config_.radio.mobile_max_power_dbm);
+  const double max_w = mobile_max_w_;
   const double zeta = config_.admission.zeta_fch_pilot_ratio;
   const double room = max_w / std::max(pilot, kTiny) - 1.0 - zeta;
   if (room <= 0.0) return 0;
@@ -708,7 +742,7 @@ void Simulator::update_transmit_powers() {
         tx += pilot * config_.admission.zeta_fch_pilot_ratio * config_.spreading.gamma_s *
               u.burst.m;
       }
-      const double cap = common::dbm_to_watt(config_.radio.mobile_max_power_dbm);
+      const double cap = mobile_max_w_;
       if (tx > cap) {
         tx = cap;
         if (!in_warmup()) ++metrics_.mobile_power_saturations;

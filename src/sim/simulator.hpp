@@ -94,6 +94,11 @@ class Simulator {
   /// (round-trippable through admission::make_policy / make_channel_provider).
   std::string policy_name() const { return admission_policy_name_; }
   std::string channel_provider_name() const { return csi_->name(); }
+  /// Epoch-contract cross-checks for the candidate-index regression tests:
+  /// the CSR index must mirror the provider's live candidate sets after
+  /// every frame, and the epoch must move whenever any set changed.
+  bool csi_index_consistent() const { return state_.candidate_index_matches(*csi_); }
+  std::uint64_t csi_candidate_epoch() const { return csi_->candidate_epoch(); }
 
  private:
   /// One interference domain: a (cell, carrier) pair.  With one carrier
@@ -237,6 +242,12 @@ class Simulator {
   std::vector<int> grant_m_scratch_, grant_carrier_scratch_;
   double noise_w_ = 0.0;
   double l_max_w_ = 0.0;
+  double mobile_max_w_ = 0.0;  // dbm_to_watt(mobile_max_power_dbm), hoisted
+  /// True when the CSI provider armed FrameState's relaxed-precision
+  /// kernels (the "fast" provider): the per-user power-control loop then
+  /// uses the fastmath dB conversions too.  Always false on the default
+  /// bit-identical path.
+  bool fast_math_ = false;
   double fch_pg_ = 0.0;          // W / R_f processing gain
   double fch_sir_target_ = 0.0;  // linear Eb/I0 target
   double now_s_ = 0.0;

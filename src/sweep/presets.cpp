@@ -155,15 +155,18 @@ SweepSpec enterprise_data() {
   return spec;
 }
 
-/// Exhaustive vs. neighbour-culled channel-state providers on the 19-cell
-/// hotspot grid: the metric-equivalence and frames/sec story in one sweep.
+/// Exhaustive vs. neighbour-culled vs. relaxed-precision channel-state
+/// providers on the 19-cell hotspot grid: the metric-equivalence and
+/// frames/sec story in one sweep.  `fast` rows are statistically
+/// equivalent, not bit-identical (tests/test_statcheck.cpp pins the
+/// tolerances).
 SweepSpec csi_providers() {
   SweepSpec spec;
   spec.name = "csi-providers";
   spec.base = scenario::hotspot_center().to_config();
   spec.base.sim_duration_s = 60.0;
   spec.base.warmup_s = 8.0;
-  spec.axes = {axis_csi_provider({"exhaustive", "culled"}),
+  spec.axes = {axis_csi_provider({"exhaustive", "culled", "fast"}),
                axis_load_scale({1.0, 2.0})};
   spec.replications = 2;
   spec.common_random_numbers = true;  // paired comparison across the grid
@@ -220,7 +223,8 @@ SweepSpec sim_threads() {
   spec.base = scenario::hotspot_center().to_config();
   spec.base.sim_duration_s = 30.0;
   spec.base.warmup_s = 5.0;
-  spec.axes = {axis_sim_threads({1, 4}), axis_csi_provider({"exhaustive", "culled"})};
+  spec.axes = {axis_sim_threads({1, 4}),
+               axis_csi_provider({"exhaustive", "culled", "fast"})};
   spec.replications = 1;
   spec.common_random_numbers = true;  // identical streams: rows must match
   return spec;
@@ -266,7 +270,7 @@ const PresetEntry kPresets[] = {
      highway_corridor},
     {"enterprise-data", "data-heavy enterprise mix, carriers x objective",
      enterprise_data},
-    {"csi-providers", "exhaustive vs culled channel state, load scale x provider",
+    {"csi-providers", "exhaustive vs culled vs fast channel state, load x provider",
      csi_providers},
     {"carrier-balance", "inter-carrier hand-down vs JABA-SD, two carriers",
      carrier_balance},

@@ -105,6 +105,43 @@ TEST(GoldenMetrics, ShrunkE5RunIsBitIdenticalToPreRefactor) {
   EXPECT_EQ(r.scenarios[1].merged.queue_delay_s.mean(), 1.9474999999999889);
 }
 
+// Tolerance golden for the `fast` provider on the same shrunk E5 grid: the
+// relaxed-precision path is deterministic per seed but explicitly NOT
+// bit-identical, so drift is caught with declared relative-error bounds
+// instead of EXPECT_EQ.  The bounds are deliberately wide enough to survive
+// implementation-preserving tweaks (e.g. a re-tuned polynomial) yet tight
+// enough that a physics or stream-discipline regression trips them; a
+// legitimate algorithm change (new kernels, different draw batching) may
+// re-pin the values, and tests/test_statcheck.cpp must pass either way.
+TEST(GoldenMetrics, FastProviderShrunkE5WithinPinnedTolerances) {
+  sweep::SweepSpec spec = scenario::e5_delay_rl();
+  spec.base.voice.users = 10;
+  spec.base.sim_duration_s = 8.0;
+  spec.base.warmup_s = 2.0;
+  spec.base.csi.provider = "fast";
+  spec.axes = {sweep::axis_data_users({4, 8}),
+               sweep::axis_scheduler({admission::SchedulerKind::kJabaSd})};
+  spec.replications = 2;
+  const sweep::SweepResult r = sweep::run_sweep(spec, 0);
+  ASSERT_EQ(r.scenarios.size(), 2u);
+
+  // Pinned from the PR 5 implementation; 10% relative bounds on the
+  // continuous metrics, +/-2 on the counters.
+  EXPECT_NEAR(r.scenarios[0].merged.mean_delay_s(), 3.16, 0.10 * 3.16);
+  EXPECT_NEAR(r.scenarios[0].merged.data_bits_delivered, 539452.78,
+              0.10 * 539452.78);
+  EXPECT_NEAR(static_cast<double>(r.scenarios[0].merged.grants), 9.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(r.scenarios[0].merged.requests_seen), 9.0, 2.0);
+  EXPECT_NEAR(r.scenarios[0].merged.granted_sgr.mean(), 13.889, 0.10 * 13.889);
+
+  EXPECT_NEAR(r.scenarios[1].merged.mean_delay_s(), 3.22, 0.10 * 3.22);
+  EXPECT_NEAR(r.scenarios[1].merged.data_bits_delivered, 839804.61,
+              0.10 * 839804.61);
+  EXPECT_NEAR(static_cast<double>(r.scenarios[1].merged.grants), 16.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(r.scenarios[1].merged.requests_seen), 15.0, 2.0);
+  EXPECT_NEAR(r.scenarios[1].merged.granted_sgr.mean(), 11.375, 0.10 * 11.375);
+}
+
 TEST(GoldenMetrics, DefaultNineteenCellRunIsBitIdenticalToPreRefactor) {
   sim::SystemConfig cfg = sim::default_config();
   cfg.voice.users = 24;

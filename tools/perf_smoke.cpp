@@ -10,6 +10,11 @@
 //     exhaustive path made impractical; run with the culled provider plus
 //     one exhaustive reference row so the gap stays on record.
 //
+// Every registered channel-state provider gets rows at both scales (PR 5
+// added "fast", the relaxed-precision culled variant; the JSON summary
+// records its fast/culled frames-per-sec ratio at 19 cells, sim.threads=1,
+// which the PR 5 acceptance pins at >= 1.5x on the 1-core container).
+//
 // Each (scale, provider) pair runs at sim.threads = 1 and 4.  Thread counts
 // change frames/sec only -- metrics are bit-identical by design (tested in
 // tests/test_frame_state.cpp).  On hosts with fewer cores than sim.threads
@@ -134,6 +139,10 @@ int main(int argc, char** argv) {
   // The acceptance row: 19-cell culled at sim.threads = 4 (the configuration
   // ISSUE/ROADMAP name), not the best over thread counts.
   double gate_culled_fps = 0.0;
+  // The relaxed-precision acceptance ratio: fast vs culled at 19 cells,
+  // sim.threads = 1 (the 1-core container configuration the PR 5 target
+  // names); tools/check_perf.py can gate on it via --ratio.
+  double culled_19_t1_fps = 0.0, fast_19_t1_fps = 0.0;
 
   std::string json = "{\n  \"bench\": \"frames_per_sec\",\n  \"schema\": 2,\n";
   json += "  \"frames\": " + std::to_string(frames) + ",\n";
@@ -167,6 +176,10 @@ int main(int argc, char** argv) {
         if (cells == 19 && provider == "culled" && threads == 4) {
           gate_culled_fps = fps;
         }
+        if (cells == 19 && threads == 1) {
+          if (provider == "culled") culled_19_t1_fps = fps;
+          if (provider == "fast") fast_19_t1_fps = fps;
+        }
         std::fprintf(stderr, "perf_smoke:   %-11s sim_threads=%d  %.1f frames/sec\n",
                      provider.c_str(), threads, fps);
         char buf[160];
@@ -187,8 +200,11 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof(buf), "  \"baseline_pr3_culled_fps\": %.3f,\n",
                   kPr3CulledBaselineFps);
     json += buf;
-    std::snprintf(buf, sizeof(buf), "  \"speedup_vs_pr3\": %.3f\n",
+    std::snprintf(buf, sizeof(buf), "  \"speedup_vs_pr3\": %.3f,\n",
                   gate_culled_fps / kPr3CulledBaselineFps);
+    json += buf;
+    std::snprintf(buf, sizeof(buf), "  \"fast_over_culled_19c_t1\": %.3f\n",
+                  culled_19_t1_fps > 0.0 ? fast_19_t1_fps / culled_19_t1_fps : 0.0);
     json += buf;
   }
   json += "}\n";

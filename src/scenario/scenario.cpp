@@ -134,6 +134,26 @@ ScenarioLayout enterprise_data() {
   return s;
 }
 
+ScenarioLayout large_hex() {
+  ScenarioLayout s;
+  s.name = "large-hex";
+  s.description = "uniformly loaded 127-cell metro grid (6 rings); the "
+                  "culling providers' far-field aggregate carries the "
+                  "out-of-candidate interference";
+  s.layout.rings = 6;  // 127 cells
+  s.placement.cell_weights = uniform_weights(6);
+  s.placement.home_radius_scale = 1.2;
+  // ~15 voice + 3 data per cell: city-scale population, per-cell load
+  // comparable to the smaller grids so metrics stay interpretable.
+  s.voice_users = 1905;
+  s.data_users = 381;
+  s.data_mean_reading_s = 1.2;
+  s.sim_duration_s = 60.0;
+  s.warmup_s = 8.0;
+  s.seed = 20505;
+  return s;
+}
+
 namespace {
 
 struct LayoutEntry {
@@ -146,6 +166,7 @@ const LayoutEntry kLayouts[] = {
     {"hotspot-center", hotspot_center},
     {"highway-corridor", highway_corridor},
     {"enterprise-data", enterprise_data},
+    {"large-hex", large_hex},
 };
 
 const LayoutEntry* find_layout(const std::string& name) {

@@ -78,6 +78,9 @@ ScenarioLayout hotspot_center();
 ScenarioLayout highway_corridor();
 /// Data-heavy enterprise mix on two carriers, download-dominated.
 ScenarioLayout enterprise_data();
+/// Uniformly loaded 127-cell metro grid (6 rings, ~2300 users): the
+/// culling + far-field scale point (docs/ACCURACY.md).
+ScenarioLayout large_hex();
 
 /// Names accepted by make_layout, in registry order.
 std::vector<std::string> layout_names();

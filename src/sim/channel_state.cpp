@@ -88,6 +88,8 @@ class CulledChannelProvider final : public ChannelStateProvider {
     return epoch_.load(std::memory_order_relaxed);
   }
 
+  bool culls() const override { return true; }
+
   std::string name() const override { return fast_math_ ? "fast" : "culled"; }
 
  private:
@@ -155,11 +157,14 @@ std::unique_ptr<ChannelStateProvider> build_fast(const CsiConfig& csi) {
 const ProviderEntry kProviders[] = {
     {"exhaustive", "every cell every frame (reference, bit-identical legacy path)",
      build_exhaustive},
-    {"culled", "active set + pilot-floor radius candidates on a slow refresh timer",
+    {"culled",
+     "active set + pilot-floor radius candidates on a slow refresh timer; "
+     "far cells folded back in as ring aggregates",
      build_culled},
     {"fast",
-     "culled candidates + relaxed-precision link math (fused exp2 gains, "
-     "ziggurat draws); statistically equivalent, not bit-identical",
+     "culled candidates + far-field aggregates + relaxed-precision link math "
+     "(fused exp2 gains, ziggurat draws); statistically equivalent, not "
+     "bit-identical",
      build_fast},
 };
 

@@ -72,6 +72,13 @@ class ChannelStateProvider {
   /// the simulator rebuilds its CSR/transpose candidate indexes only then.
   virtual std::uint64_t candidate_epoch() const = 0;
 
+  /// True when cells_for() can be a strict subset of the world -- the
+  /// simulator then arms the far-field aggregator (src/sim/far_field.hpp)
+  /// to restore the culled cells' interference as ring aggregates.  The
+  /// exhaustive reference keeps the default false: every cell is live, so
+  /// there is no far field to aggregate.
+  virtual bool culls() const { return false; }
+
   virtual std::string name() const = 0;
 };
 

@@ -36,6 +36,9 @@ const SystemConfig& SystemConfig::validate() const {
                "unknown channel-state provider name");
   WCDMA_ASSERT(csi.refresh_interval_s > 0.0);
   WCDMA_ASSERT(csi.cull_radius_scale > 0.0);
+  WCDMA_ASSERT(csi.far_field.ring_width_scale > 0.0);
+  WCDMA_ASSERT(csi.far_field.shadowing_fraction >= 0.0 &&
+               csi.far_field.shadowing_fraction <= 1.0);
   WCDMA_ASSERT(frame_s > 0.0);
   WCDMA_ASSERT(sim_duration_s > warmup_s);
   WCDMA_ASSERT(voice.users >= 0 && data.users >= 0);

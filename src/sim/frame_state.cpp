@@ -35,6 +35,7 @@ void FrameState::init(const cell::HexLayout* layout, const channel::PathLoss* pa
   fast_shadow_rng_.resize(num_users_);
   gain_mean_.assign(links, 0.0);
   pilot_fl_.assign(links, 0.0);
+  far_fl_w_.assign(num_users_, 0.0);
   if (fading_kind_ == channel::FadingKind::kAr1) {
     fade_rng_.resize(links);
     fade_re_.assign(links, 0.0);

@@ -93,6 +93,14 @@ class FrameState {
   }
   double* pilot_fl_row(std::size_t user) { return &pilot_fl_[user * num_cells_]; }
 
+  // --- Far-field aggregate lane (src/sim/far_field.hpp) -------------------
+  /// Ring-aggregated forward interference from the user's non-candidate
+  /// cells, watts; added to the interference total alongside thermal noise.
+  /// Zero unless the FarFieldAggregator is active and refreshed it, so the
+  /// default exhaustive path stays bit-identical.
+  double far_fl_w(std::size_t user) const { return far_fl_w_[user]; }
+  void set_far_fl_w(std::size_t user, double w) { far_fl_w_[user] = w; }
+
   /// Zeroes the cached gain of a link leaving a candidate set, so dropped
   /// cells stop contributing to interference sums.
   void clear_gain(std::size_t user, std::size_t cell) {
@@ -107,6 +115,12 @@ class FrameState {
   /// candidate epoch moved since the last build.  Sequential; call between
   /// the channel and measurement phases.
   void refresh_candidate_index(const ChannelStateProvider& provider);
+
+  /// True once refresh_candidate_index() has built the CSR index at least
+  /// once (the far-field refresh must wait for it on the first frame).
+  bool has_candidate_index() const {
+    return csr_offsets_.size() == num_users_ + 1;
+  }
 
   /// Candidate cells of `user` as a contiguous [begin, end) range.
   const std::uint32_t* candidates_begin(std::size_t user) const {
@@ -174,6 +188,8 @@ class FrameState {
   // Per-frame link outputs (flat, stride num_cells_).
   std::vector<double> gain_mean_;
   std::vector<double> pilot_fl_;
+  // Far-field aggregate lane, one forward term per user (stride 1).
+  std::vector<double> far_fl_w_;
 
   // Relaxed-precision mode (the `fast` provider): the path-loss model is
   // affine in log10(d), so loss_db(d) = A + B log10(d) folds with the

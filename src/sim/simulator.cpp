@@ -181,6 +181,13 @@ Simulator::Simulator(const SystemConfig& config)
   // The provider may have armed the FrameState's relaxed-precision kernels;
   // mirror that into the per-user loops (power-control dB conversions).
   fast_math_ = state_.fast_math();
+
+  far_field_.init(&layout_, &path_loss_, config_.shadowing, config_.csi,
+                  users_.size(), config_.placement.carriers, csi_->culls());
+  if (far_field_.active()) {
+    far_anchor_.resize(users_.size());
+    far_station_w_.resize(stations_.size());
+  }
 }
 
 SimMetrics Simulator::run() {
@@ -192,6 +199,10 @@ SimMetrics Simulator::run() {
 
 void Simulator::step_frame() {
   state_.advance_frame();
+  // The far-field aggregates refresh first, from last frame's (frozen)
+  // station powers and candidate sets, so the sharded passes below read
+  // per-link terms that stay constant for the whole frame.
+  maybe_refresh_far_field();
   // Channel stepping and the forward measurements fuse into one sharded
   // pass: measurement of user i depends only on i's own fresh link state
   // plus last frame's (frozen) station powers, never on other users.
@@ -242,6 +253,28 @@ void Simulator::for_shards(
   pool_->wait_idle();
 }
 
+void Simulator::maybe_refresh_far_field() {
+  if (!far_field_.active()) return;
+  far_refresh_left_s_ -= config_.frame_s;
+  if (far_refresh_left_s_ > 0.0) return;
+  // The first frame has no CSR candidate index yet (it is built after the
+  // channel pass); leave the timer expired and retry next frame, so the
+  // aggregates stay zero for exactly one frame -- the culled providers'
+  // pre-far-field behaviour.
+  if (!state_.has_candidate_index()) return;
+  far_refresh_left_s_ = config_.csi.refresh_interval_s;
+  // Anchors are the active-set primaries, sampled now and frozen until the
+  // next refresh; station powers are last frame's (the same lagged
+  // fixed-point background every measurement uses).
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    far_anchor_[i] = static_cast<std::uint32_t>(users_[i].active_set.primary());
+  }
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    far_station_w_[s] = stations_[s].prev_forward_w;
+  }
+  far_field_.refresh(state_, far_anchor_.data(), far_station_w_.data());
+}
+
 void Simulator::step_mobility_and_channel() {
   // Per-user work only (mobility, candidate refresh, per-link RNG streams,
   // then this user's forward measurements): safe and bit-identical under
@@ -270,7 +303,10 @@ void Simulator::forward_measure_user(std::size_t shard, std::size_t i) {
     const std::size_t n_cand = candidates.size();
     const double* gain = state_.gain_mean_row(i);
     double* pilot = state_.pilot_fl_row(i);
-    double total = noise_w_;
+    // Far-field aggregate lane: the ring-summed interference of every
+    // non-candidate cell enters next to thermal noise (exactly 0.0 on the
+    // exhaustive path, so the default trajectory stays bit-identical).
+    double total = noise_w_ + state_.far_fl_w(i);
     for (std::size_t c = 0; c < n_cand; ++c) {
       const std::size_t k = cand[c];
       total += stations_[station_index(k, u.carrier)].prev_forward_w * gain[k];
@@ -329,7 +365,11 @@ void Simulator::step_reverse_measurements() {
                                                    std::size_t end) {
     for (std::size_t k = begin; k < end; ++k) {
       for (int c = 0; c < carriers; ++c) {
-        stations_[station_index(k, c)].received_w = noise_w_;
+        // Far-field term next to thermal noise (0.0 while inactive, keeping
+        // the default path bit-identical); candidate contributors add their
+        // exact per-link terms in the gather below.
+        stations_[station_index(k, c)].received_w =
+            noise_w_ + far_field_.reverse_far_w(k, c);
       }
       const std::uint32_t* contributors = state_.users_of_cell_begin(k);
       const std::size_t n = state_.users_of_cell_count(k);
@@ -750,6 +790,7 @@ void Simulator::update_transmit_powers() {
     }
     prev_tx_w_[i] = tx;
     user_carrier_[i] = u.carrier;
+    far_field_.on_user_tx(i, tx, u.carrier);
   }
 
   for (auto& bs : stations_) {

@@ -47,6 +47,7 @@
 #include "src/power/power_control.hpp"
 #include "src/sim/channel_state.hpp"
 #include "src/sim/config.hpp"
+#include "src/sim/far_field.hpp"
 #include "src/sim/frame_state.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/request_queue.hpp"
@@ -99,6 +100,11 @@ class Simulator {
   /// every frame, and the epoch must move whenever any set changed.
   bool csi_index_consistent() const { return state_.candidate_index_matches(*csi_); }
   std::uint64_t csi_candidate_epoch() const { return csi_->candidate_epoch(); }
+  /// True when the far-field aggregator is live (culling provider with
+  /// csi.far_field.enabled); the default exhaustive path keeps it off.
+  bool far_field_active() const { return far_field_.active(); }
+  /// The aggregator itself (bucket-maintenance regression tests).
+  const FarFieldAggregator& far_field() const { return far_field_; }
 
  private:
   /// One interference domain: a (cell, carrier) pair.  With one carrier
@@ -171,6 +177,9 @@ class Simulator {
 
   /// One sharded pass: mobility + candidate refresh + link stepping + this
   /// user's forward measurements (fused; see step_frame).
+  /// Refreshes the far-field aggregates on the slow candidate cadence
+  /// (no-op while the aggregator is inactive or before the first CSR build).
+  void maybe_refresh_far_field();
   void step_mobility_and_channel();
   void forward_measure_user(std::size_t shard, std::size_t user);
   void step_reverse_measurements();
@@ -229,6 +238,13 @@ class Simulator {
   /// whole User structs there would thrash the cache.
   std::vector<double> prev_tx_w_;
   std::vector<int> user_carrier_;
+  /// Ring-aggregated interference from each user's non-candidate cells
+  /// (culling providers only; see src/sim/far_field.hpp).  The forward term
+  /// lives in FrameState's aggregate lane; the reverse term is per station.
+  FarFieldAggregator far_field_;
+  double far_refresh_left_s_ = 0.0;
+  std::vector<std::uint32_t> far_anchor_;   // refresh scratch: primaries
+  std::vector<double> far_station_w_;       // refresh scratch: station powers
   RequestQueues queues_;  // per-(direction, carrier) pending requests
   std::size_t sim_threads_ = 1;
   std::unique_ptr<common::ThreadPool> pool_;  // persistent intra-frame pool

@@ -173,6 +173,23 @@ SweepSpec csi_providers() {
   return spec;
 }
 
+/// 127-cell metro grid: the world size only the culling providers can
+/// afford.  Provider x load scale, shortened horizon -- the per-link cost
+/// of `culled`/`fast` stays flat with cell count because candidate sets
+/// are radius-bounded and the far-field aggregate covers the rest
+/// (docs/ACCURACY.md; tools/check_perf.py gates the scaling).
+SweepSpec large_hex() {
+  SweepSpec spec;
+  spec.name = "large-hex";
+  spec.base = scenario::large_hex().to_config();
+  spec.base.sim_duration_s = 30.0;
+  spec.base.warmup_s = 5.0;
+  spec.axes = {axis_csi_provider({"culled", "fast"}), axis_load_scale({1.0, 1.5})};
+  spec.replications = 1;
+  spec.common_random_numbers = true;  // paired comparison across the grid
+  return spec;
+}
+
 /// Inter-carrier hand-down against plain JABA-SD on the two-carrier
 /// enterprise layout: the load-balancing win of the policy API.
 SweepSpec carrier_balance() {
@@ -272,6 +289,8 @@ const PresetEntry kPresets[] = {
      enterprise_data},
     {"csi-providers", "exhaustive vs culled vs fast channel state, load x provider",
      csi_providers},
+    {"large-hex", "127-cell metro grid, culling provider x load scale",
+     large_hex},
     {"carrier-balance", "inter-carrier hand-down vs JABA-SD, two carriers",
      carrier_balance},
     {"flash-crowd", "hotspot-centre arrival pulse, ramp peak x schedulers",

@@ -125,21 +125,23 @@ TEST(GoldenMetrics, FastProviderShrunkE5WithinPinnedTolerances) {
   const sweep::SweepResult r = sweep::run_sweep(spec, 0);
   ASSERT_EQ(r.scenarios.size(), 2u);
 
-  // Pinned from the PR 5 implementation; 10% relative bounds on the
-  // continuous metrics, +/-2 on the counters.
-  EXPECT_NEAR(r.scenarios[0].merged.mean_delay_s(), 3.16, 0.10 * 3.16);
-  EXPECT_NEAR(r.scenarios[0].merged.data_bits_delivered, 539452.78,
-              0.10 * 539452.78);
+  // Pinned from the PR 6 implementation (the wider default candidate
+  // radius plus far-field aggregation legitimately moved the fast
+  // trajectory); 10% relative bounds on the continuous metrics, +/-2 on
+  // the counters.
+  EXPECT_NEAR(r.scenarios[0].merged.mean_delay_s(), 2.71, 0.10 * 2.71);
+  EXPECT_NEAR(r.scenarios[0].merged.data_bits_delivered, 480524.56,
+              0.10 * 480524.56);
   EXPECT_NEAR(static_cast<double>(r.scenarios[0].merged.grants), 9.0, 2.0);
-  EXPECT_NEAR(static_cast<double>(r.scenarios[0].merged.requests_seen), 9.0, 2.0);
-  EXPECT_NEAR(r.scenarios[0].merged.granted_sgr.mean(), 13.889, 0.10 * 13.889);
+  EXPECT_NEAR(static_cast<double>(r.scenarios[0].merged.requests_seen), 10.0, 2.0);
+  EXPECT_NEAR(r.scenarios[0].merged.granted_sgr.mean(), 8.667, 0.10 * 8.667);
 
-  EXPECT_NEAR(r.scenarios[1].merged.mean_delay_s(), 3.22, 0.10 * 3.22);
-  EXPECT_NEAR(r.scenarios[1].merged.data_bits_delivered, 839804.61,
-              0.10 * 839804.61);
-  EXPECT_NEAR(static_cast<double>(r.scenarios[1].merged.grants), 16.0, 2.0);
-  EXPECT_NEAR(static_cast<double>(r.scenarios[1].merged.requests_seen), 15.0, 2.0);
-  EXPECT_NEAR(r.scenarios[1].merged.granted_sgr.mean(), 11.375, 0.10 * 11.375);
+  EXPECT_NEAR(r.scenarios[1].merged.mean_delay_s(), 3.57, 0.10 * 3.57);
+  EXPECT_NEAR(r.scenarios[1].merged.data_bits_delivered, 567928.51,
+              0.10 * 567928.51);
+  EXPECT_NEAR(static_cast<double>(r.scenarios[1].merged.grants), 9.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(r.scenarios[1].merged.requests_seen), 11.0, 2.0);
+  EXPECT_NEAR(r.scenarios[1].merged.granted_sgr.mean(), 12.222, 0.10 * 12.222);
 }
 
 TEST(GoldenMetrics, DefaultNineteenCellRunIsBitIdenticalToPreRefactor) {

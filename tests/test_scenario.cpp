@@ -17,7 +17,7 @@ namespace {
 
 TEST(ScenarioRegistry, AllLayoutsBuildValidConfigs) {
   const std::vector<std::string> names = layout_names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 5u);
   for (const std::string& name : names) {
     SCOPED_TRACE(name);
     EXPECT_TRUE(has_layout(name));

@@ -306,7 +306,14 @@ TEST(StatisticalEquivalence, FastMatchesExhaustiveOnShrunkE5) {
   spec.base.sim_duration_s = 25.0;
   spec.base.warmup_s = 5.0;
   spec.axes = {sweep::axis_data_users({12})};
-  spec.replications = 10;
+  // 30 paired replications: the 3R default candidate radius keeps every
+  // cell of this 7-cell world live, so `fast` runs the relaxed kernels on
+  // an uncull-ed trajectory and the per-replication delay differences are
+  // pure paired chaos (no bias -- the Welch mean shrinks as replications
+  // grow).  10 replications were under-powered for that spread and failed
+  // the TOST vacuity check; 30 bring the 95% interval to ~1.0 +/- 1.0 s,
+  // inside the 2.5 s margin with headroom.
+  spec.replications = 30;
   expect_fast_matches("exhaustive", spec, EquivalenceTolerances{});
 }
 
@@ -324,11 +331,12 @@ TEST(StatisticalEquivalence, FastMatchesExhaustiveOnUniformHex7) {
 }
 
 TEST(StatisticalEquivalence, FastMatchesExhaustiveOnHotspotCenter) {
-  // 19-cell hotspot against the full exhaustive reference.  The blocking
-  // tolerance is wider here than on the 7-cell grids because it absorbs the
-  // PR 3 culling approximation too (far-cell interference terms dropped;
-  // measured gap ~0.10 for `culled` and `fast` alike) on top of the
-  // relaxed-math seam this suite certifies.
+  // 19-cell hotspot against the full exhaustive reference -- the scenario
+  // that leans hardest on the culling physics.  Before far-field
+  // aggregation the dropped far-cell interference cost a ~0.10 absolute
+  // blocking gap here (declared as rel 0.16 through PR 5); with the culled
+  // cells folded back in as ring aggregates the gap is pinned at <= 0.03
+  // absolute (docs/ACCURACY.md records the before/after sweep).
   scenario::ScenarioLayout layout = scenario::hotspot_center();
   layout.data_users = 32;
   layout.sim_duration_s = 25.0;
@@ -338,8 +346,32 @@ TEST(StatisticalEquivalence, FastMatchesExhaustiveOnHotspotCenter) {
   spec.base = layout.to_config();
   spec.replications = 4;
   EquivalenceTolerances tol;
-  tol.blocking = {"blocking_probability", 0.0, 0.16};
+  tol.blocking = {"blocking_probability", 0.0, 0.03};
   tol.delay_welch_margin_s = 3.0;  // measured |diff|+hw ~2.1 at 4 reps
+  expect_fast_matches("exhaustive", spec, tol);
+}
+
+TEST(StatisticalEquivalence, FastMatchesExhaustiveOnShrunkLargeHex) {
+  // The 127-cell metro grid, shrunk to a CI population/horizon: the world
+  // size where the culling providers earn their keep (candidates are ~13
+  // of 127 cells) and the far-field aggregate carries almost the whole
+  // out-of-candidate interference budget.  Exhaustive is affordable here
+  // only because the population is cut to ~360 users.
+  scenario::ScenarioLayout layout = scenario::large_hex();
+  layout.voice_users = 300;
+  layout.data_users = 60;
+  layout.sim_duration_s = 15.0;
+  layout.warmup_s = 3.0;
+  sweep::SweepSpec spec;
+  spec.name = "statcheck-large-hex";
+  spec.base = layout.to_config();
+  spec.replications = 3;
+  EquivalenceTolerances tol;
+  // Same accuracy contract as the hotspot test: <= 0.03 absolute blocking
+  // (measured 0.016: fast 0.412 vs exhaustive 0.427) and a delay TOST
+  // margin with headroom (measured |diff|+hw ~0.5 at 3 reps).
+  tol.blocking = {"blocking_probability", 0.0, 0.03};
+  tol.delay_welch_margin_s = 2.0;
   expect_fast_matches("exhaustive", spec, tol);
 }
 
@@ -391,6 +423,9 @@ void check_epoch_contract(const std::string& provider) {
   sim::SystemConfig cfg = layout.to_config();
   cfg.csi.provider = provider;
   cfg.csi.refresh_interval_s = 0.2;  // several epochs inside the ramp
+  // The default radius covers this whole 7-cell world, which would freeze
+  // the candidate sets; shrink it so refreshes genuinely churn the epoch.
+  cfg.csi.cull_radius_scale = 2.0;
   sim::Simulator simulator(cfg);
   ASSERT_EQ(simulator.channel_provider_name(), provider);
 

@@ -7,6 +7,10 @@
 #    to a file in the repository.
 # 2. Every preset registered in the sweep CLI must appear in the README
 #    preset table (pass the sweep_main binary as $1; skipped otherwise).
+# 3. Every registered channel-state provider must appear in both the README
+#    provider table and the docs/ACCURACY.md accuracy ladder (same binary;
+#    a provider added to the registry without its accuracy contract being
+#    documented fails the docs job).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,8 +52,21 @@ if [ "$#" -ge 1 ]; then
       fail=1
     fi
   done < <("$sweep_main" --list-presets | awk '{print $1}')
+
+  # --- 3. every channel-state provider is documented ----------------------
+  while IFS= read -r provider; do
+    [ -z "$provider" ] && continue
+    if ! grep -q "\`$provider\`" README.md; then
+      echo "UNDOCUMENTED PROVIDER: $provider missing from the README provider table"
+      fail=1
+    fi
+    if ! grep -q "\`$provider\`" docs/ACCURACY.md; then
+      echo "UNDOCUMENTED PROVIDER: $provider missing from docs/ACCURACY.md"
+      fail=1
+    fi
+  done < <("$sweep_main" --list-csi-providers | awk '{print $1}')
 else
-  echo "note: no sweep_main binary given; skipping preset-table check"
+  echo "note: no sweep_main binary given; skipping preset/provider checks"
 fi
 
 if [ "$fail" -ne 0 ]; then

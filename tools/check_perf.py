@@ -23,8 +23,18 @@ Two additional gates (PR 5, the relaxed-precision `fast` provider):
                             fast:culled:1.3 keeps the fast provider's win
                             from silently eroding).
 
+One gate for PR 6 (far-field aggregation, 127-cell worlds):
+  --cost-scaling PROVIDER:BASE_CELLS:BIG_CELLS:FACTOR
+                            per-user frame cost 1 / (fps x users) at
+                            sim_threads=1 on the BIG_CELLS grid must be at
+                            most FACTOR times the BASE_CELLS grid's (e.g.
+                            culled:19:127:1.3 -- radius-bounded candidate
+                            sets plus the far-field aggregate keep the
+                            per-user cost flat as the world grows).
+
 Usage: check_perf.py BASELINE_JSON FRESH_JSON [--tolerance 0.20]
            [--require-provider NAME ...] [--ratio NUM:DEN:FLOOR ...]
+           [--cost-scaling PROVIDER:BASE:BIG:FACTOR ...]
 """
 
 import argparse
@@ -62,6 +72,11 @@ def main():
                         metavar="NUM:DEN:FLOOR",
                         help="require fps[NUM]/fps[DEN] >= FLOOR at "
                              "sim_threads=1 wherever both exist")
+    parser.add_argument("--cost-scaling", action="append", default=[],
+                        metavar="PROVIDER:BASE:BIG:FACTOR",
+                        help="require per-user frame cost on the BIG-cell "
+                             "grid <= FACTOR x the BASE-cell grid's "
+                             "(sim_threads=1, fresh run)")
     args = parser.parse_args()
 
     baseline = load_entries(args.baseline)
@@ -95,6 +110,33 @@ def main():
                     f"{cells}c/{users}u: {num}/{den} ratio {ratio:.2f} < {floor:.2f}")
         if checked == 0:
             failures.append(f"--ratio {spec}: no scale has t1 entries for both")
+
+    for spec in args.cost_scaling:
+        try:
+            provider, base_text, big_text, factor_text = spec.split(":")
+            base_cells, big_cells = int(base_text), int(big_text)
+            factor = float(factor_text)
+        except ValueError:
+            sys.exit(f"check_perf: bad --cost-scaling spec '{spec}' "
+                     "(want PROVIDER:BASE:BIG:FACTOR)")
+        # cost = 1 / (fps * users); one t1 entry per (cells, provider) by
+        # construction of the perf_smoke grid.
+        costs = {}
+        for (cells, users, prov, threads), fps in fresh.items():
+            if prov == provider and threads == 1 and fps > 0:
+                costs[cells] = 1.0 / (fps * users)
+        if base_cells not in costs or big_cells not in costs:
+            failures.append(f"--cost-scaling {spec}: missing t1 entries for "
+                            f"{provider} at {base_cells} and/or {big_cells} cells")
+            continue
+        ratio = costs[big_cells] / costs[base_cells]
+        status = "ok" if ratio <= factor else "REGRESSED"
+        print(f"check_perf: {provider} per-user cost {big_cells}c/{base_cells}c "
+              f"ratio {ratio:.2f} (cap {factor:.2f}) {status}")
+        if ratio > factor:
+            failures.append(
+                f"{provider}: per-user cost at {big_cells}c is {ratio:.2f}x "
+                f"the {base_cells}c cost (cap {factor:.2f})")
     for key, base_fps in sorted(baseline.items()):
         cells, users, provider, threads = key
         label = f"{cells}c/{users}u {provider} t{threads}"

@@ -3,12 +3,17 @@
 // BENCH_frames_per_sec.json so the bench trajectory of the frame loop is
 // recorded over time.
 //
-// Two built-in scale points:
+// Three built-in scale points:
 //   * 19 cells / 288 users  -- the PR 3 acceptance grid (culled baseline
 //     1825 f/s before the SoA hot-path rework);
 //   * 37 cells / 1152 users -- the scale point the O(users x cells)
 //     exhaustive path made impractical; run with the culled provider plus
 //     one exhaustive reference row so the gap stays on record.
+//   * 127 cells / 2304 users -- the far-field scale point (PR 6): candidate
+//     sets are radius-bounded and the ring aggregate covers the remaining
+//     ~110 cells, so the culling providers' per-user frame cost must stay
+//     flat with cell count.  The JSON summary records the per-user cost
+//     ratio vs the 19-cell grid (tools/check_perf.py gates it at <= 1.3x).
 //
 // Every registered channel-state provider gets rows at both scales (PR 5
 // added "fast", the relaxed-precision culled variant; the JSON summary
@@ -53,6 +58,7 @@ struct ScalePoint {
 constexpr ScalePoint kScales[] = {
     {2, 4, 1},   // 19 cells, 288 users
     {3, 16, 4},  // 37 cells, 1152 users
+    {6, 32, 8},  // 127 cells, 2304 users (far-field scale point)
 };
 
 constexpr int kThreadCounts[] = {1, 4};
@@ -143,6 +149,11 @@ int main(int argc, char** argv) {
   // sim.threads = 1 (the 1-core container configuration the PR 5 target
   // names); tools/check_perf.py can gate on it via --ratio.
   double culled_19_t1_fps = 0.0, fast_19_t1_fps = 0.0;
+  // Far-field scaling record (PR 6): per-user frame cost = 1 / (fps x
+  // users); the 127-cell over 19-cell ratio must stay ~flat for the
+  // culling providers (tools/check_perf.py --cost-scaling gates it).
+  double culled_127_t1_fps = 0.0, fast_127_t1_fps = 0.0;
+  int users_19 = 0, users_127 = 0;
 
   std::string json = "{\n  \"bench\": \"frames_per_sec\",\n  \"schema\": 2,\n";
   json += "  \"frames\": " + std::to_string(frames) + ",\n";
@@ -177,8 +188,14 @@ int main(int argc, char** argv) {
           gate_culled_fps = fps;
         }
         if (cells == 19 && threads == 1) {
+          users_19 = users;
           if (provider == "culled") culled_19_t1_fps = fps;
           if (provider == "fast") fast_19_t1_fps = fps;
+        }
+        if (cells == 127 && threads == 1) {
+          users_127 = users;
+          if (provider == "culled") culled_127_t1_fps = fps;
+          if (provider == "fast") fast_127_t1_fps = fps;
         }
         std::fprintf(stderr, "perf_smoke:   %-11s sim_threads=%d  %.1f frames/sec\n",
                      provider.c_str(), threads, fps);
@@ -203,8 +220,23 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof(buf), "  \"speedup_vs_pr3\": %.3f,\n",
                   gate_culled_fps / kPr3CulledBaselineFps);
     json += buf;
-    std::snprintf(buf, sizeof(buf), "  \"fast_over_culled_19c_t1\": %.3f\n",
+    std::snprintf(buf, sizeof(buf), "  \"fast_over_culled_19c_t1\": %.3f,\n",
                   culled_19_t1_fps > 0.0 ? fast_19_t1_fps / culled_19_t1_fps : 0.0);
+    json += buf;
+    // cost(scale) = 1 / (fps x users); ratio > 1 means the big grid costs
+    // more per user-frame than the small one.
+    const auto cost_ratio = [&](double fps_big, double fps_small) {
+      return fps_big > 0.0 && fps_small > 0.0 && users_19 > 0 && users_127 > 0
+                 ? (fps_small * users_19) / (fps_big * users_127)
+                 : 0.0;
+    };
+    std::snprintf(buf, sizeof(buf),
+                  "  \"culled_per_user_cost_127c_over_19c\": %.3f,\n",
+                  cost_ratio(culled_127_t1_fps, culled_19_t1_fps));
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"fast_per_user_cost_127c_over_19c\": %.3f\n",
+                  cost_ratio(fast_127_t1_fps, fast_19_t1_fps));
     json += buf;
   }
   json += "}\n";

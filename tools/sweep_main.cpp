@@ -29,6 +29,7 @@ void print_usage() {
       "  --csi-provider NAME   force a channel-state provider\n"
       "                        (exhaustive|culled|fast; fast trades bit-identity\n"
       "                        for speed, see tests/test_statcheck.cpp)\n"
+      "  --list-csi-providers  list registered channel-state providers and exit\n"
       "  --replications N      override the preset's replication count\n"
       "  --threads N           sweep worker threads (0 = inline; default: hardware)\n"
       "  --sim-threads N       intra-frame threads per simulator (0 = hardware;\n"
@@ -102,6 +103,12 @@ int main(int argc, char** argv) {
       for (const std::string& name : admission::policy_names()) {
         std::printf("%-16s %s\n", name.c_str(),
                     admission::policy_description(name).c_str());
+      }
+      return 0;
+    } else if (arg == "--list-csi-providers") {
+      for (const std::string& name : sim::channel_provider_names()) {
+        std::printf("%-12s %s\n", name.c_str(),
+                    sim::channel_provider_description(name).c_str());
       }
       return 0;
     } else if (arg == "--preset") {

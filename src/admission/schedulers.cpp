@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "src/common/assert.hpp"
+#include "src/common/serialize.hpp"
 
 namespace wcdma::admission {
 
@@ -190,6 +191,13 @@ Allocation RandomScheduler::schedule(const BurstProblem& problem) {
   const Allocation alloc = grant_in_order(problem, order, /*single_burst=*/false);
   WCDMA_ASSERT(problem.region.admits(alloc.m));
   return alloc;
+}
+
+void RandomScheduler::save_state(common::BinaryWriter& w) const { rng_.save(w); }
+
+bool RandomScheduler::load_state(common::BinaryReader& r) {
+  rng_.load(r);
+  return r.ok();
 }
 
 const char* to_string(SchedulerKind k) {

@@ -59,6 +59,11 @@ class Scheduler {
   virtual ~Scheduler() = default;
   virtual Allocation schedule(const BurstProblem& problem) = 0;
   virtual std::string name() const = 0;
+
+  /// Checkpoint hooks: only stochastic schedulers carry evolved state (the
+  /// "random" baseline's RNG); deterministic solvers keep the empty default.
+  virtual void save_state(common::BinaryWriter&) const {}
+  virtual bool load_state(common::BinaryReader&) { return true; }
 };
 
 class JabaSdScheduler final : public Scheduler {
@@ -106,6 +111,8 @@ class RandomScheduler final : public Scheduler {
   explicit RandomScheduler(common::Rng rng) : rng_(rng) {}
   Allocation schedule(const BurstProblem& problem) override;
   std::string name() const override { return "Random"; }
+  void save_state(common::BinaryWriter& w) const override;
+  bool load_state(common::BinaryReader& r) override;
 
  private:
   common::Rng rng_;

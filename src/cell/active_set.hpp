@@ -14,6 +14,11 @@
 
 #include "src/common/assert.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::cell {
 
 struct ActiveSetConfig {
@@ -74,6 +79,11 @@ class ActiveSet {
   }
 
   bool contains(std::size_t cell) const;
+
+  /// Checkpoint support: pilots, drop timers, membership.  Config and the
+  /// pre-converted linear thresholds are rebuilt from SystemConfig.
+  void save(common::BinaryWriter& w) const;
+  void load(common::BinaryReader& r);
 
   /// Forward-link power adjustment factor alpha^(FL): transmitting the SCH
   /// from every reduced-active-set leg costs this multiple of single-leg

@@ -3,10 +3,29 @@
 #include <cmath>
 
 #include "src/common/assert.hpp"
+#include "src/common/serialize.hpp"
 
 namespace wcdma::cell {
 
 namespace {
+
+// Model tags for the checkpoint archives; stable, never reordered.
+constexpr std::uint8_t kTagWaypoint = 1;
+constexpr std::uint8_t kTagWalk = 2;
+constexpr std::uint8_t kTagCorridor = 3;
+constexpr std::uint8_t kTagFixed = 4;
+
+void save_point(common::BinaryWriter& w, const Point& p) {
+  w.f64(p.x);
+  w.f64(p.y);
+}
+
+Point load_point(common::BinaryReader& r) {
+  Point p;
+  p.x = r.f64();
+  p.y = r.f64();
+  return p;
+}
 
 Point random_in_disc(common::Rng& rng, const MobilityConfig& config) {
   const double r = config.region_radius_m * std::sqrt(rng.uniform());
@@ -127,6 +146,72 @@ double CorridorMobility::step(double dt) {
     speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
   }
   return moved;
+}
+
+void RandomWaypoint::save(common::BinaryWriter& w) const {
+  w.u8(kTagWaypoint);
+  rng_.save(w);
+  save_point(w, pos_);
+  save_point(w, target_);
+  w.f64(speed_);
+  w.f64(pause_left_);
+}
+
+bool RandomWaypoint::load(common::BinaryReader& r) {
+  if (r.u8() != kTagWaypoint) return false;
+  rng_.load(r);
+  pos_ = load_point(r);
+  target_ = load_point(r);
+  speed_ = r.f64();
+  pause_left_ = r.f64();
+  return r.ok();
+}
+
+void RandomWalk::save(common::BinaryWriter& w) const {
+  w.u8(kTagWalk);
+  rng_.save(w);
+  save_point(w, pos_);
+  w.f64(heading_);
+  w.f64(speed_);
+  w.f64(hold_left_);
+}
+
+bool RandomWalk::load(common::BinaryReader& r) {
+  if (r.u8() != kTagWalk) return false;
+  rng_.load(r);
+  pos_ = load_point(r);
+  heading_ = r.f64();
+  speed_ = r.f64();
+  hold_left_ = r.f64();
+  return r.ok();
+}
+
+void CorridorMobility::save(common::BinaryWriter& w) const {
+  w.u8(kTagCorridor);
+  rng_.save(w);
+  save_point(w, pos_);
+  w.i32(dir_);
+  w.f64(speed_);
+}
+
+bool CorridorMobility::load(common::BinaryReader& r) {
+  if (r.u8() != kTagCorridor) return false;
+  rng_.load(r);
+  pos_ = load_point(r);
+  dir_ = r.i32();
+  speed_ = r.f64();
+  return r.ok();
+}
+
+void FixedPosition::save(common::BinaryWriter& w) const {
+  w.u8(kTagFixed);
+  save_point(w, pos_);
+}
+
+bool FixedPosition::load(common::BinaryReader& r) {
+  if (r.u8() != kTagFixed) return false;
+  pos_ = load_point(r);
+  return r.ok();
 }
 
 std::unique_ptr<MobilityModel> make_mobility(const MobilityConfig& config,

@@ -11,6 +11,11 @@
 #include "src/cell/geometry.hpp"
 #include "src/common/rng.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::cell {
 
 /// Which model the simulator builds for each user.
@@ -41,6 +46,13 @@ class MobilityModel {
   virtual double step(double dt) = 0;
   virtual Point position() const = 0;
   virtual double speed_mps() const = 0;
+
+  /// Checkpoint support: each model serializes its evolved state (position,
+  /// waypoint/heading, RNG) behind a model tag.  The config itself is not
+  /// archived -- restore targets a model rebuilt from the same SystemConfig,
+  /// and the tag catches a kind mismatch.
+  virtual void save(common::BinaryWriter& w) const = 0;
+  virtual bool load(common::BinaryReader& r) = 0;
 };
 
 class RandomWaypoint final : public MobilityModel {
@@ -51,6 +63,8 @@ class RandomWaypoint final : public MobilityModel {
   Point position() const override { return pos_; }
   double speed_mps() const override { return speed_; }
   Point waypoint() const { return target_; }
+  void save(common::BinaryWriter& w) const override;
+  bool load(common::BinaryReader& r) override;
 
  private:
   void pick_waypoint();
@@ -70,6 +84,8 @@ class RandomWalk final : public MobilityModel {
   double step(double dt) override;
   Point position() const override { return pos_; }
   double speed_mps() const override { return speed_; }
+  void save(common::BinaryWriter& w) const override;
+  bool load(common::BinaryReader& r) override;
 
  private:
   MobilityConfig config_;
@@ -93,6 +109,8 @@ class CorridorMobility final : public MobilityModel {
   Point position() const override { return pos_; }
   double speed_mps() const override { return speed_; }
   int direction() const { return dir_; }
+  void save(common::BinaryWriter& w) const override;
+  bool load(common::BinaryReader& r) override;
 
  private:
   MobilityConfig config_;
@@ -110,6 +128,8 @@ class FixedPosition final : public MobilityModel {
   double step(double) override { return 0.0; }
   Point position() const override { return pos_; }
   double speed_mps() const override { return 0.0; }
+  void save(common::BinaryWriter& w) const override;
+  bool load(common::BinaryReader& r) override;
 
  private:
   Point pos_;

@@ -14,6 +14,11 @@
 #include "src/channel/shadowing.hpp"
 #include "src/common/rng.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::channel {
 
 enum class FadingKind { kJakes, kAr1, kNone };
@@ -73,6 +78,10 @@ class CsiFeedback {
   /// oldest available measurement (conservative start-up behaviour).
   double current() const;
   bool primed() const { return pipe_.size() > delay_frames_; }
+
+  /// Checkpoint support: the delay pipe contents plus the error-draw RNG.
+  void save(common::BinaryWriter& w) const;
+  void load(common::BinaryReader& r);
 
  private:
   std::size_t delay_frames_;

@@ -41,6 +41,11 @@ class JakesFading final : public FadingProcess {
 
   double doppler_hz() const { return doppler_hz_; }
 
+  /// Checkpoint support: the process is a deterministic function of time
+  /// given its (init-time) random phases, so only the clock round-trips.
+  double time_s() const { return t_; }
+  void set_time_s(double t) { t_ = t; }
+
  private:
   double doppler_hz_;
   double t_ = 0.0;

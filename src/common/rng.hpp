@@ -16,6 +16,9 @@
 
 namespace wcdma::common {
 
+class BinaryWriter;
+class BinaryReader;
+
 namespace detail {
 inline std::uint64_t rotl64(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
@@ -81,6 +84,12 @@ class Rng {
   /// Log-normal where the dB-value is Normal(0, sigma_db): returns linear
   /// factor 10^(N(0,sigma_db)/10).
   double lognormal_shadow(double sigma_db);
+
+  /// Checkpoint support: the full generator state (four Xoshiro words plus
+  /// the cached Box-Muller spare -- dropping the spare would shift every
+  /// subsequent normal() draw by one).
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
 
  private:
   std::array<std::uint64_t, 4> s_{};

@@ -1,0 +1,170 @@
+// Versioned binary archive for simulator checkpoints (snapshot/restore).
+//
+// The service core's determinism contract ("a run checkpointed at frame k
+// and resumed equals an uninterrupted run") needs a STABLE serialized form:
+// fixed-width little-endian integers and doubles written as their IEEE-754
+// bit patterns, so a snapshot taken on one toolchain restores bit-exactly on
+// another.  No floating-point text round-trips, no host-endianness leaks.
+//
+// BinaryReader fails SOFT: reads past the end (or a size prefix larger than
+// the remaining payload) clear ok() and return zeros/empties instead of
+// touching out-of-range memory, so a truncated or corrupted snapshot is a
+// recoverable `restore() == false`, never UB.  Writers and readers must
+// agree on field order; every archive starts with a caller-checked magic +
+// version header.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace wcdma::common {
+
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern, never a decimal round-trip.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  void vec_f64(const std::vector<double>& v) {
+    u64(v.size());
+    for (double x : v) f64(x);
+  }
+  void vec_u32(const std::vector<std::uint32_t>& v) {
+    u64(v.size());
+    for (std::uint32_t x : v) u32(x);
+  }
+  void vec_u64(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    for (std::uint64_t x : v) u64(x);
+  }
+  void vec_i32(const std::vector<int>& v) {
+    u64(v.size());
+    for (int x : v) i32(x);
+  }
+  void vec_i64(const std::vector<std::int64_t>& v) {
+    u64(v.size());
+    for (std::int64_t x : v) i64(x);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  /// False once any read ran past the end or a size prefix was implausible.
+  /// Callers check once at the end of a load; intermediate reads after a
+  /// failure keep returning zeros/empties.
+  bool ok() const { return ok_; }
+  /// True when the whole payload was consumed (trailing garbage detector).
+  bool at_end() const { return pos_ == size_; }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data_[pos_ - 1];
+  }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(read_le<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(read_le<std::uint64_t>()); }
+  bool boolean() { return u8() != 0; }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!plausible(n, 1) || !take(static_cast<std::size_t>(n))) return {};
+    return std::string(reinterpret_cast<const char*>(data_ + pos_ - n),
+                       static_cast<std::size_t>(n));
+  }
+
+  void vec_f64(std::vector<double>& v) { read_vec(v, sizeof(double), [this] { return f64(); }); }
+  void vec_u32(std::vector<std::uint32_t>& v) { read_vec(v, 4, [this] { return u32(); }); }
+  void vec_u64(std::vector<std::uint64_t>& v) { read_vec(v, 8, [this] { return u64(); }); }
+  void vec_i32(std::vector<int>& v) { read_vec(v, 4, [this] { return i32(); }); }
+  void vec_i64(std::vector<std::int64_t>& v) { read_vec(v, 8, [this] { return i64(); }); }
+
+  /// Size prefix for caller-decoded sequences; 0 (with ok() cleared) when
+  /// the prefix can't fit in the remaining payload at `min_elem_bytes` each.
+  std::size_t seq(std::size_t min_elem_bytes) {
+    const std::uint64_t n = u64();
+    if (!plausible(n, min_elem_bytes)) return 0;
+    return static_cast<std::size_t>(n);
+  }
+
+ private:
+  template <typename T>
+  T read_le() {
+    if (!take(sizeof(T))) return 0;
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ - sizeof(T) + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  template <typename V, typename Fn>
+  void read_vec(V& v, std::size_t elem_bytes, Fn next) {
+    const std::size_t n = seq(elem_bytes);
+    v.clear();
+    v.reserve(n);
+    for (std::size_t i = 0; i < n && ok_; ++i) v.push_back(next());
+  }
+
+  bool plausible(std::uint64_t n, std::size_t elem_bytes) {
+    // Divide instead of multiply: a hostile size prefix must not overflow.
+    if (!ok_ || n > (size_ - pos_) / elem_bytes) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace wcdma::common

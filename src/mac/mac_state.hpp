@@ -14,6 +14,11 @@
 
 #include "src/common/assert.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::mac {
 
 enum class MacState { kActive, kControlHold, kSuspended, kDormant };
@@ -49,6 +54,9 @@ class MacStateMachine {
 
   /// Set-up delay a freshly granted burst pays from the *current* state.
   double setup_delay() const;
+
+  void save(common::BinaryWriter& w) const;
+  void load(common::BinaryReader& r);
 
  private:
   MacTimersConfig timers_;

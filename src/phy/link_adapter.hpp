@@ -11,6 +11,11 @@
 #include "src/common/rng.hpp"
 #include "src/phy/adaptation.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::phy {
 
 /// Outcome of one frame of SCH transmission for one user.
@@ -38,6 +43,10 @@ class LinkAdapter {
 
   const AdaptationPolicy& policy() const { return *policy_; }
 
+  /// Checkpoint support: only the feedback pipe evolves.
+  void save(common::BinaryWriter& w) const;
+  void load(common::BinaryReader& r);
+
  private:
   const AdaptationPolicy* policy_;  // not owned
   channel::CsiFeedback feedback_;
@@ -58,6 +67,9 @@ class FixedRateAdapter {
   double expected_throughput(double mean_csi) const;
 
   int fixed_mode() const { return fixed_mode_; }
+
+  void save(common::BinaryWriter& w) const;
+  void load(common::BinaryReader& r);
 
  private:
   const AdaptationPolicy* policy_;

@@ -12,6 +12,11 @@
 
 #include "src/common/assert.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::power {
 
 struct PowerControlConfig {
@@ -47,6 +52,11 @@ class ClosedLoopPowerControl {
 
   /// True when the last update hit the max-power rail (coverage-limited).
   bool saturated() const { return saturated_; }
+
+  /// Checkpoint support: the cached wattage round-trips bit-exactly too, so
+  /// a restored loop never re-derives it through pow().
+  void save(common::BinaryWriter& w) const;
+  void load(common::BinaryReader& r);
 
  private:
   static double to_watt(double dbm);

@@ -1,0 +1,65 @@
+#include "src/service/events.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::service {
+
+namespace {
+
+// The compliance table: one row per message type, in EventType order.  The
+// round-trip tests walk this table, so adding a message type here without a
+// handler (or a handler without a row) fails the suite.
+const EventSpec kCatalogue[kNumEventTypes] = {
+    {EventType::kTick, "FrameTick", "tick",
+     /*needs_user=*/false, /*needs_bits=*/false, /*needs_carrier=*/false,
+     /*mutates_state=*/true},
+    {EventType::kBurstRequest, "BurstRequest", "req",
+     /*needs_user=*/true, /*needs_bits=*/true, /*needs_carrier=*/false,
+     /*mutates_state=*/true},
+    {EventType::kRelease, "BurstRelease", "rel",
+     /*needs_user=*/true, /*needs_bits=*/false, /*needs_carrier=*/false,
+     /*mutates_state=*/true},
+    {EventType::kHandDown, "CarrierHandDown", "hd",
+     /*needs_user=*/true, /*needs_bits=*/false, /*needs_carrier=*/true,
+     /*mutates_state=*/true},
+    {EventType::kMeasurementReport, "MeasurementReport", "meas",
+     /*needs_user=*/true, /*needs_bits=*/false, /*needs_carrier=*/false,
+     /*mutates_state=*/false},
+};
+
+}  // namespace
+
+const EventSpec (&event_catalogue())[kNumEventTypes] { return kCatalogue; }
+
+const EventSpec& event_spec(EventType type) {
+  const auto index = static_cast<std::size_t>(type);
+  WCDMA_ASSERT(index < kNumEventTypes);
+  const EventSpec& spec = kCatalogue[index];
+  WCDMA_ASSERT(spec.type == type && "catalogue rows must stay in enum order");
+  return spec;
+}
+
+const EventSpec* event_spec_by_tag(const std::string& tag) {
+  for (const EventSpec& spec : kCatalogue) {
+    if (tag == spec.tag) return &spec;
+  }
+  return nullptr;
+}
+
+const char* to_string(EventType type) { return event_spec(type).name; }
+
+const char* to_string(ResultCode code) {
+  switch (code) {
+    case ResultCode::kAck: return "ack";
+    case ResultCode::kNackUnknownUser: return "nack-unknown-user";
+    case ResultCode::kNackNotData: return "nack-not-data";
+    case ResultCode::kNackDuplicate: return "nack-duplicate";
+    case ResultCode::kNackBurstActive: return "nack-burst-active";
+    case ResultCode::kNackBadPayload: return "nack-bad-payload";
+    case ResultCode::kNackOutOfOrder: return "nack-out-of-order";
+    case ResultCode::kNackNoPending: return "nack-no-pending";
+  }
+  return "?";
+}
+
+}  // namespace wcdma::service

@@ -1,0 +1,97 @@
+// Typed event catalogue for the message-driven service core.
+//
+// The batch simulator advances by calling step_frame() in a loop; the
+// service core re-expresses the same run as a stream of typed messages --
+// burst requests, releases, hand-downs, measurement reports, and frame
+// ticks -- each answered with an explicit ack or a reasoned nack.  The
+// catalogue follows the BTS signalling-stack idiom of a static per-message
+// compliance table (one row per message type declaring its name, wire tag,
+// and required payload fields) that handlers and tests both consult, so a
+// message can never be half-supported: if it is in the table it parses,
+// validates, applies, and round-trips through the trace format.
+//
+// Frame discipline: every non-tick event carries the frame index it applies
+// to and is only accepted while the simulator is AT that frame; a tick
+// closes the frame (arrivals buffered by the events drain inside it, in
+// ascending user order, exactly where the batch path's internal arrivals
+// drain).  This is what makes a recorded event stream replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wcdma::service {
+
+enum class EventType : std::uint8_t {
+  kTick = 0,               // close the current frame (advance the simulator)
+  kBurstRequest = 1,       // data user asks for an SCH burst of `bits`
+  kRelease = 2,            // cancel a pending (ungranted) burst request
+  kHandDown = 3,           // move an idle data user to another carrier
+  kMeasurementReport = 4,  // informational; acked, never changes state
+};
+inline constexpr std::size_t kNumEventTypes = 5;
+
+struct Event {
+  EventType type = EventType::kTick;
+  std::int64_t frame = 0;  // frame index the event applies to (non-tick)
+  int user = -1;           // subject user (ignored by kTick)
+  double bits = 0.0;       // kBurstRequest payload, bits
+  int carrier = 0;         // kHandDown target carrier
+
+  static Event tick() { return Event{}; }
+  static Event burst_request(std::int64_t frame, int user, double bits) {
+    return Event{EventType::kBurstRequest, frame, user, bits, 0};
+  }
+  static Event release(std::int64_t frame, int user) {
+    return Event{EventType::kRelease, frame, user, 0.0, 0};
+  }
+  static Event hand_down(std::int64_t frame, int user, int carrier) {
+    return Event{EventType::kHandDown, frame, user, 0.0, carrier};
+  }
+  static Event measurement_report(std::int64_t frame, int user) {
+    return Event{EventType::kMeasurementReport, frame, user, 0.0, 0};
+  }
+};
+
+enum class ResultCode : std::uint8_t {
+  kAck = 0,
+  kNackUnknownUser,   // user id outside the population
+  kNackNotData,       // burst machinery addressed to a voice user
+  kNackDuplicate,     // request while one is already pending/buffered
+  kNackBurstActive,   // user is busy (active burst, or queue membership
+                      // blocks a carrier move)
+  kNackBadPayload,    // non-positive bits / carrier outside the plan
+  kNackOutOfOrder,    // event stamped for a frame the service is not at
+  kNackNoPending,     // release with nothing to release
+};
+inline constexpr std::size_t kNumResultCodes = 8;
+
+struct EventResult {
+  ResultCode code = ResultCode::kAck;
+  bool ok() const { return code == ResultCode::kAck; }
+};
+
+/// One compliance-table row: the static contract of a message type.  The
+/// wire `tag` is what the trace format writes as its "e" value; the
+/// `needs_*` flags drive both the validator and the trace writer/parser,
+/// so payload handling cannot drift between them.
+struct EventSpec {
+  EventType type;
+  const char* name;  // human-readable catalogue name
+  const char* tag;   // trace wire tag ("tick", "req", "rel", "hd", "meas")
+  bool needs_user;
+  bool needs_bits;
+  bool needs_carrier;
+  bool mutates_state;  // false: informational, acked without side effects
+};
+
+/// The full catalogue, indexed by EventType's underlying value.
+const EventSpec (&event_catalogue())[kNumEventTypes];
+const EventSpec& event_spec(EventType type);
+/// Wire-tag lookup; nullptr for tags outside the catalogue.
+const EventSpec* event_spec_by_tag(const std::string& tag);
+
+const char* to_string(EventType type);
+const char* to_string(ResultCode code);
+
+}  // namespace wcdma::service

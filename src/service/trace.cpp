@@ -1,0 +1,190 @@
+#include "src/service/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "src/common/assert.hpp"
+
+namespace wcdma::service {
+
+namespace {
+
+/// %.17g: the shortest fixed precision that round-trips every IEEE-754
+/// double exactly through decimal text.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Extracts the raw value text of `"key":` from a flat, single-line JSON
+/// object (the only shape this format emits).  False when the key is absent.
+bool find_raw(const std::string& line, const std::string& key, std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t start = pos + needle.size();
+  std::size_t end = start;
+  bool in_str = false;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (c == '"') in_str = !in_str;
+    if (!in_str && (c == ',' || c == '}')) break;
+    ++end;
+  }
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool get_string(const std::string& line, const std::string& key, std::string* out) {
+  std::string raw;
+  if (!find_raw(line, key, &raw)) return false;
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return false;
+  *out = raw.substr(1, raw.size() - 2);
+  return true;
+}
+
+bool get_i64(const std::string& line, const std::string& key, std::int64_t* out) {
+  std::string raw;
+  if (!find_raw(line, key, &raw) || raw.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (end != raw.c_str() + raw.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool get_u64(const std::string& line, const std::string& key, std::uint64_t* out) {
+  std::string raw;
+  if (!find_raw(line, key, &raw) || raw.empty() || raw[0] == '-') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  if (end != raw.c_str() + raw.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool get_f64(const std::string& line, const std::string& key, double* out) {
+  std::string raw;
+  if (!find_raw(line, key, &raw) || raw.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end != raw.c_str() + raw.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool get_int(const std::string& line, const std::string& key, int* out) {
+  std::int64_t v = 0;
+  if (!get_i64(line, key, &v)) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+void TraceWriter::begin(const TraceHeader& header) {
+  WCDMA_ASSERT(!begun_ && "begin() must be called exactly once");
+  begun_ = true;
+  out_ << "{\"trace\":\"" << kTraceName << "\",\"v\":" << header.version
+       << ",\"seed\":" << header.seed << ",\"users\":" << header.users
+       << ",\"cells\":" << header.cells << ",\"carriers\":" << header.carriers
+       << ",\"frame_s\":" << fmt_double(header.frame_s) << ",\"policy\":\""
+       << header.policy << "\",\"provider\":\"" << header.provider << "\"}\n";
+}
+
+void TraceWriter::flush_ticks() {
+  if (pending_ticks_ == 0) return;
+  out_ << "{\"e\":\"tick\",\"n\":" << pending_ticks_ << "}\n";
+  pending_ticks_ = 0;
+}
+
+void TraceWriter::event(const Event& e) {
+  WCDMA_ASSERT(begun_ && "begin() must precede events");
+  if (e.type == EventType::kTick) {
+    ++pending_ticks_;
+    return;
+  }
+  flush_ticks();
+  const EventSpec& spec = event_spec(e.type);
+  out_ << "{\"e\":\"" << spec.tag << "\",\"f\":" << e.frame;
+  if (spec.needs_user) out_ << ",\"u\":" << e.user;
+  if (spec.needs_bits) out_ << ",\"bits\":" << fmt_double(e.bits);
+  if (spec.needs_carrier) out_ << ",\"c\":" << e.carrier;
+  out_ << "}\n";
+}
+
+void TraceWriter::finish() { flush_ticks(); }
+
+bool TraceReader::fail(const std::string& what) {
+  if (error_.empty()) {
+    error_ = "trace line " + std::to_string(line_no_) + ": " + what;
+  }
+  return false;
+}
+
+bool TraceReader::read_header(TraceHeader* header) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_no_;
+    if (line.empty()) continue;
+    std::string name;
+    if (!get_string(line, "trace", &name) || name != kTraceName) {
+      return fail("not a " + std::string(kTraceName) + " header");
+    }
+    std::int64_t version = 0;
+    if (!get_i64(line, "v", &version) || version != kTraceVersion) {
+      return fail("unsupported trace version");
+    }
+    header->version = static_cast<int>(version);
+    if (!get_u64(line, "seed", &header->seed)) return fail("missing seed");
+    if (!get_u64(line, "users", &header->users)) return fail("missing users");
+    if (!get_u64(line, "cells", &header->cells)) return fail("missing cells");
+    if (!get_int(line, "carriers", &header->carriers)) return fail("missing carriers");
+    if (!get_f64(line, "frame_s", &header->frame_s)) return fail("missing frame_s");
+    if (!get_string(line, "policy", &header->policy)) return fail("missing policy");
+    if (!get_string(line, "provider", &header->provider)) {
+      return fail("missing provider");
+    }
+    return true;
+  }
+  return fail("empty trace");
+}
+
+bool TraceReader::next(TraceRecord* record) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_no_;
+    if (line.empty()) continue;
+    std::string tag;
+    if (!get_string(line, "e", &tag)) return fail("missing event tag");
+    const EventSpec* spec = event_spec_by_tag(tag);
+    if (spec == nullptr) return fail("unknown event tag '" + tag + "'");
+    *record = TraceRecord{};
+    if (spec->type == EventType::kTick) {
+      std::int64_t n = 0;
+      if (!get_i64(line, "n", &n) || n <= 0) return fail("bad tick count");
+      record->ticks = n;
+      return true;
+    }
+    Event e;
+    e.type = spec->type;
+    if (!get_i64(line, "f", &e.frame)) return fail("missing frame");
+    if (spec->needs_user && !get_int(line, "u", &e.user)) {
+      return fail("missing user");
+    }
+    if (spec->needs_bits && !get_f64(line, "bits", &e.bits)) {
+      return fail("missing bits");
+    }
+    if (spec->needs_carrier && !get_int(line, "c", &e.carrier)) {
+      return fail("missing carrier");
+    }
+    record->event = e;
+    return true;
+  }
+  return false;  // clean end of stream (ok() stays true)
+}
+
+}  // namespace wcdma::service

@@ -38,6 +38,11 @@
 #include "src/cell/mobility.hpp"
 #include "src/sim/config.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::sim {
 
 class FrameState;
@@ -80,6 +85,13 @@ class ChannelStateProvider {
   virtual bool culls() const { return false; }
 
   virtual std::string name() const = 0;
+
+  /// Checkpoint hooks: providers with evolved state (candidate sets,
+  /// refresh timers, epochs) serialize it here.  The exhaustive reference
+  /// is stateless beyond init, so the defaults are empty archives that
+  /// always restore.
+  virtual void save_state(common::BinaryWriter&) const {}
+  virtual bool load_state(common::BinaryReader&) { return true; }
 };
 
 // --- Registry: string-keyed factories --------------------------------------

@@ -56,6 +56,11 @@
 #include "src/channel/shadowing.hpp"
 #include "src/sim/config.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::sim {
 
 class FrameState;
@@ -104,6 +109,12 @@ class FarFieldAggregator {
   /// may only drift from the batch sum by floating-point residue.  Test
   /// hook for the bucket-maintenance regression suite.
   bool tx_buckets_match_rebuild(double rel_tol) const;
+
+  /// Serializes the evolved state (TX buckets, applied per-user deltas,
+  /// refresh outputs); ring geometry is reproduced by init() on the same
+  /// config.  Inactive aggregators round-trip as a single flag.
+  void save(common::BinaryWriter& w) const;
+  bool load(common::BinaryReader& r);
 
  private:
   double gain_of(std::size_t anchor, std::size_t cell) const {

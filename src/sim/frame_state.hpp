@@ -145,6 +145,15 @@ class FrameState {
   /// epoch regression suite; O(users x candidates).
   bool candidate_index_matches(const ChannelStateProvider& provider) const;
 
+  /// Serializes the evolved state only: frame clock, shadowing/fading RNG
+  /// streams and lanes, Jakes time offsets, cached gains/pilots, far-field
+  /// lane, and the CSR candidate index.  Init-time state (geometry tables,
+  /// Jakes phases, fast-math fold constants) is reproduced by re-running
+  /// init()/init_user() on the same config, so load() overwrites only what
+  /// evolves and size-checks every lane against the initialised layout.
+  void save(common::BinaryWriter& w) const;
+  bool load(common::BinaryReader& r);
+
  private:
   void step_user_links_fast(std::size_t user, cell::Point pos, double moved_m,
                             const std::size_t* cells, std::size_t count);

@@ -8,6 +8,11 @@
 
 #include "src/common/stats.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::sim {
 
 inline constexpr std::size_t kCoverageBins = 12;
@@ -50,6 +55,11 @@ struct SimMetrics {
   common::StreamingMoments voice_sir_error_db;     // achieved - target
 
   void merge(const SimMetrics& other);
+
+  /// Checkpoint serialization: every accumulator round-trips bit-exactly so
+  /// a resumed run's final metrics equal the uninterrupted run's.
+  void save(common::BinaryWriter& w) const;
+  bool load(common::BinaryReader& r);
 
   double mean_delay_s() const { return burst_delay_s.mean(); }
   double p95_delay_s() const { return delay_hist.percentile(0.95); }

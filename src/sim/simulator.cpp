@@ -1,10 +1,12 @@
 #include "src/sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/common/assert.hpp"
 #include "src/common/fastmath.hpp"
+#include "src/common/serialize.hpp"
 #include "src/common/units.hpp"
 
 namespace wcdma::sim {
@@ -92,6 +94,7 @@ Simulator::Simulator(const SystemConfig& config)
                        {0, 0});
   prev_tx_w_.assign(static_cast<std::size_t>(total_users), 0.0);
   user_carrier_.assign(static_cast<std::size_t>(total_users), 0);
+  injected_bits_.assign(static_cast<std::size_t>(total_users), -1.0);
 
   sim_threads_ = config_.sim_threads == 0
                      ? common::default_thread_count()
@@ -213,10 +216,22 @@ void Simulator::step_frame() {
   step_reverse_measurements();
   step_power_control();
   step_traffic();
-  build_frame_context();
-  for (int c = 0; c < config_.placement.carriers; ++c) {
-    run_admission(mac::LinkDirection::kForward, c);
-    run_admission(mac::LinkDirection::kReverse, c);
+  if (decision_timing_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    build_frame_context();
+    for (int c = 0; c < config_.placement.carriers; ++c) {
+      run_admission(mac::LinkDirection::kForward, c);
+      run_admission(mac::LinkDirection::kReverse, c);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    decision_times_s_.push_back(std::chrono::duration<double>(t1 - t0).count());
+    decisions_made_ += static_cast<std::int64_t>(frame_ctx_.requests.size());
+  } else {
+    build_frame_context();
+    for (int c = 0; c < config_.placement.carriers; ++c) {
+      run_admission(mac::LinkDirection::kForward, c);
+      run_admission(mac::LinkDirection::kReverse, c);
+    }
   }
   step_transmission();
   update_transmit_powers();
@@ -462,23 +477,41 @@ void Simulator::step_power_control() {
 
 void Simulator::step_traffic() {
   const bool ramped = config_.load_ramp.enabled();
+  const bool external = traffic_mode_ == TrafficMode::kExternal;
   for (auto& u : users_) {
     if (u.voice) {
       u.voice_active = u.voice->step(config_.frame_s);
     }
     if (u.data) {
-      // Flash-crowd knob: the ramp multiplies the arrival intensity of data
-      // users homed in the ramped cells by scaling the reading-time clock.
-      const double dt =
-          ramped ? config_.frame_s * config_.load_ramp.scale(now_s_, u.home_cell)
-                 : config_.frame_s;
-      if (const auto bytes = u.data->step(dt)) {
+      // Arrivals come from the user's Pareto source (internal mode) or the
+      // injection buffer the service filled before this frame (external
+      // mode); either way they enter the queue HERE, in ascending user
+      // order, because step_power_control() already read has_pending this
+      // frame -- injecting at submit time would perturb the FCH gating.
+      std::optional<double> bits;
+      if (external) {
+        double& slot = injected_bits_[static_cast<std::size_t>(u.id)];
+        if (slot >= 0.0) {
+          bits = slot;
+          slot = -1.0;
+        }
+      } else {
+        // Flash-crowd knob: the ramp multiplies the arrival intensity of
+        // data users homed in the ramped cells by scaling the reading-time
+        // clock.
+        const double dt =
+            ramped ? config_.frame_s * config_.load_ramp.scale(now_s_, u.home_cell)
+                   : config_.frame_s;
+        if (const auto bytes = u.data->step(dt)) bits = *bytes * 8.0;
+      }
+      if (bits) {
         WCDMA_DEBUG_ASSERT(!u.has_pending && !u.burst.active);
         u.has_pending = true;
-        u.pending_bits = *bytes * 8.0;
+        u.pending_bits = *bits;
         u.pending_arrival_s = now_s_;
         queues_.add(u.id, u.carrier, u.forward_dir);
         if (!in_warmup()) ++metrics_.requests_seen;
+        if (arrival_observer_) arrival_observer_(u.id, *bits);
       }
       u.mac.step(config_.frame_s, u.burst.active && u.burst.setup_left_s <= 0.0);
     }
@@ -737,7 +770,9 @@ void Simulator::step_transmission() {
         metrics_.delay_by_distance[u.burst.distance_bin].add(delay);
       }
       u.burst = Burst{};
-      u.data->notify_burst_done();
+      // External mode never consumed the source's arrival cycle, so there
+      // is no in-flight burst to complete on it.
+      if (traffic_mode_ == TrafficMode::kInternal) u.data->notify_burst_done();
     }
   }
 }
@@ -817,6 +852,198 @@ void Simulator::collect_frame_metrics() {
   // legacy full scan counted; pending_requests() keeps the O(users)
   // reference for the equivalence tests.
   metrics_.pending_queue_len.add(static_cast<double>(queues_.total_pending()));
+}
+
+void Simulator::inject_request(std::size_t user, double bits) {
+  WCDMA_ASSERT(user < users_.size());
+  const User& u = users_[user];
+  WCDMA_ASSERT(u.is_data && "burst requests are data-user events");
+  WCDMA_ASSERT(!u.has_pending && !u.burst.active && injected_bits_[user] < 0.0);
+  WCDMA_ASSERT(bits > 0.0);
+  injected_bits_[user] = bits;
+}
+
+void Simulator::cancel_request(std::size_t user) {
+  WCDMA_ASSERT(user < users_.size());
+  User& u = users_[user];
+  WCDMA_ASSERT(u.is_data);
+  if (injected_bits_[user] >= 0.0) {
+    // Buffered this frame but not yet queued: the release wins.
+    injected_bits_[user] = -1.0;
+    return;
+  }
+  WCDMA_ASSERT(u.has_pending && !u.burst.active);
+  queues_.remove(u.id, u.carrier, u.forward_dir);
+  u.has_pending = false;
+  u.pending_bits = 0.0;
+  // Internal mode: the source generated this burst and is waiting for it to
+  // finish; complete the cycle so its arrival clock restarts.  External
+  // sources never consumed an arrival, so there is nothing to complete.
+  if (traffic_mode_ == TrafficMode::kInternal && u.data) u.data->notify_burst_done();
+}
+
+void Simulator::set_user_carrier(std::size_t user, int carrier) {
+  WCDMA_ASSERT(user < users_.size());
+  WCDMA_ASSERT(carrier >= 0 && carrier < config_.placement.carriers);
+  User& u = users_[user];
+  // Carrier moves are only legal while the user holds no queue membership:
+  // the request buckets are keyed by (carrier, direction).
+  WCDMA_ASSERT(u.is_data && !u.has_pending && !u.burst.active);
+  u.carrier = carrier;
+}
+
+namespace {
+constexpr std::uint32_t kSnapshotMagic = 0x504E5357;  // "WSNP" little-endian
+constexpr std::uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> Simulator::snapshot() const {
+  common::BinaryWriter w;
+  w.u32(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  // Config fingerprint: restore() only accepts archives taken from a
+  // simulator built on the same world shape, seed, and policy stack --
+  // everything else about the config is reproduced by construction.
+  w.u64(config_.seed);
+  w.u64(users_.size());
+  w.u64(layout_.num_cells());
+  w.i32(config_.placement.carriers);
+  w.f64(config_.frame_s);
+  w.str(admission_policy_name_);
+  w.str(csi_->name());
+
+  w.f64(now_s_);
+  w.i64(frame_count_);
+  w.f64(far_refresh_left_s_);
+  rng_.save(w);
+
+  w.u64(stations_.size());
+  for (const BaseStation& bs : stations_) {
+    w.f64(bs.forward_w);
+    w.f64(bs.prev_forward_w);
+    w.f64(bs.received_w);
+  }
+  w.vec_f64(prev_tx_w_);
+  w.vec_i32(user_carrier_);
+  w.vec_f64(injected_bits_);
+  queues_.save(w);
+
+  w.u64(users_.size());
+  for (const User& u : users_) {
+    w.i32(u.carrier);
+    u.mobility->save(w);
+    u.active_set.save(w);
+    u.fl_pc.save(w);
+    u.rl_pc.save(w);
+    if (u.voice) u.voice->save(w);
+    if (u.data) u.data->save(w);
+    u.mac.save(w);
+    if (u.adapter) u.adapter->save(w);
+    if (u.fixed) u.fixed->save(w);
+    w.boolean(u.voice_active);
+    w.boolean(u.fch_on);
+    w.boolean(u.has_pending);
+    w.f64(u.pending_bits);
+    w.f64(u.pending_arrival_s);
+    w.f64(u.next_eligible_s);
+    w.boolean(u.burst.active);
+    w.i32(u.burst.m);
+    w.f64(u.burst.remaining_bits);
+    w.f64(u.burst.arrival_s);
+    w.f64(u.burst.setup_left_s);
+    w.u64(u.burst.distance_bin);
+    w.f64(u.fwd_interference_w);
+    w.f64(u.fwd_interference_eff_w);
+    w.f64(u.fch_sir_linear);
+  }
+
+  state_.save(w);
+  far_field_.save(w);
+  csi_->save_state(w);
+  admission_policy_->save_state(w);
+  metrics_.save(w);
+  return w.take();
+}
+
+bool Simulator::restore(const std::vector<std::uint8_t>& bytes) {
+  common::BinaryReader r(bytes);
+  if (r.u32() != kSnapshotMagic || r.u32() != kSnapshotVersion) return false;
+  if (r.u64() != config_.seed) return false;
+  if (r.u64() != users_.size()) return false;
+  if (r.u64() != layout_.num_cells()) return false;
+  if (r.i32() != config_.placement.carriers) return false;
+  if (r.f64() != config_.frame_s) return false;
+  if (r.str() != admission_policy_name_) return false;
+  if (r.str() != csi_->name()) return false;
+  if (!r.ok()) return false;
+
+  now_s_ = r.f64();
+  frame_count_ = r.i64();
+  far_refresh_left_s_ = r.f64();
+  rng_.load(r);
+
+  if (r.seq(24) != stations_.size()) return false;
+  for (BaseStation& bs : stations_) {
+    bs.forward_w = r.f64();
+    bs.prev_forward_w = r.f64();
+    bs.received_w = r.f64();
+  }
+  {
+    std::vector<double> tx;
+    r.vec_f64(tx);
+    if (!r.ok() || tx.size() != prev_tx_w_.size()) return false;
+    prev_tx_w_ = std::move(tx);
+  }
+  {
+    std::vector<int> carriers;
+    r.vec_i32(carriers);
+    if (!r.ok() || carriers.size() != user_carrier_.size()) return false;
+    user_carrier_ = std::move(carriers);
+  }
+  {
+    std::vector<double> inj;
+    r.vec_f64(inj);
+    if (!r.ok() || inj.size() != injected_bits_.size()) return false;
+    injected_bits_ = std::move(inj);
+  }
+  if (!queues_.load(r)) return false;
+
+  if (r.seq(1) != users_.size()) return false;
+  for (User& u : users_) {
+    u.carrier = r.i32();
+    if (!u.mobility->load(r)) return false;
+    u.active_set.load(r);
+    u.fl_pc.load(r);
+    u.rl_pc.load(r);
+    if (u.voice) u.voice->load(r);
+    if (u.data) u.data->load(r);
+    u.mac.load(r);
+    if (u.adapter) u.adapter->load(r);
+    if (u.fixed) u.fixed->load(r);
+    u.voice_active = r.boolean();
+    u.fch_on = r.boolean();
+    u.has_pending = r.boolean();
+    u.pending_bits = r.f64();
+    u.pending_arrival_s = r.f64();
+    u.next_eligible_s = r.f64();
+    u.burst.active = r.boolean();
+    u.burst.m = r.i32();
+    u.burst.remaining_bits = r.f64();
+    u.burst.arrival_s = r.f64();
+    u.burst.setup_left_s = r.f64();
+    u.burst.distance_bin = static_cast<std::size_t>(r.u64());
+    u.fwd_interference_w = r.f64();
+    u.fwd_interference_eff_w = r.f64();
+    u.fch_sir_linear = r.f64();
+    if (!r.ok()) return false;
+  }
+
+  if (!state_.load(r)) return false;
+  if (!far_field_.load(r)) return false;
+  if (!csi_->load_state(r)) return false;
+  if (!admission_policy_->load_state(r)) return false;
+  if (!metrics_.load(r)) return false;
+  return r.ok() && r.at_end();
 }
 
 double Simulator::forward_power_w(std::size_t cell, int carrier) const {

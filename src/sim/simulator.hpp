@@ -26,6 +26,8 @@
 // same order, as the legacy sequential scatter).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -105,6 +107,66 @@ class Simulator {
   bool far_field_active() const { return far_field_.active(); }
   /// The aggregator itself (bucket-maintenance regression tests).
   const FarFieldAggregator& far_field() const { return far_field_; }
+
+  // --- Service seams (src/service/): event-driven traffic injection,
+  // trace recording hooks, checkpoint/restore, decision-latency timing. ----
+
+  /// kExternal switches data-burst arrivals from the users' Pareto sources
+  /// to inject_request() (the trace-replay path).  The per-user fork(2)
+  /// traffic streams are simply not consumed -- every other stream
+  /// (mobility, channel, power control) advances identically, which is what
+  /// makes a replayed run's decisions bit-identical to the recording run.
+  enum class TrafficMode { kInternal, kExternal };
+  void set_traffic_mode(TrafficMode mode) { traffic_mode_ = mode; }
+  TrafficMode traffic_mode() const { return traffic_mode_; }
+
+  /// Buffers a burst request for `user` (data user, idle, nothing buffered);
+  /// it enters the pending queue inside this frame's traffic phase in
+  /// ascending user order -- exactly where an internal arrival would, so
+  /// the admission rounds see an identical request sequence.  Callers
+  /// (AdmissionService) pre-validate; violations abort in debug builds.
+  void inject_request(std::size_t user, double bits);
+  /// Cancels `user`'s pending (not yet granted) request.  Internal mode
+  /// also completes the user's traffic-source cycle so arrivals resume.
+  void cancel_request(std::size_t user);
+  /// Re-assigns an idle data user's carrier (explicit hand-down event).
+  void set_user_carrier(std::size_t user, int carrier);
+
+  bool user_is_data(std::size_t user) const { return users_[user].is_data; }
+  bool user_has_pending(std::size_t user) const { return users_[user].has_pending; }
+  bool user_burst_active(std::size_t user) const { return users_[user].burst.active; }
+  bool user_injection_queued(std::size_t user) const {
+    return injected_bits_[user] >= 0.0;
+  }
+
+  std::int64_t frame_index() const { return frame_count_; }
+
+  /// Observer invoked at every data-burst arrival (user id, burst bits), in
+  /// ascending user order within the frame -- the trace recorder hook.
+  void set_arrival_observer(std::function<void(int, double)> observer) {
+    arrival_observer_ = std::move(observer);
+  }
+
+  /// Serializes the full evolved simulator state (master + per-user RNG
+  /// streams, SoA channel lanes, far-field buckets, request queues, MAC,
+  /// power control, metrics) into a versioned little-endian archive.  The
+  /// header fingerprints the originating config; restore() onto a Simulator
+  /// constructed from the SAME config resumes bit-identically to an
+  /// uninterrupted run.  Snapshots are valid between frames only.
+  std::vector<std::uint8_t> snapshot() const;
+  /// Restores a snapshot() archive; false (state untouched or safely
+  /// partial) on magic/version/fingerprint mismatch or truncation.
+  bool restore(const std::vector<std::uint8_t>& bytes);
+
+  /// Decision-latency instrumentation: when enabled, each frame's admission
+  /// phase (context snapshot + every scheduling round) is wall-clock timed
+  /// and the per-frame seconds plus the decided-request count accumulate
+  /// for the service bench.  Off by default -- zero hot-path cost.
+  void enable_decision_timing(bool on) { decision_timing_ = on; }
+  const std::vector<double>& decision_frame_times_s() const {
+    return decision_times_s_;
+  }
+  std::int64_t decisions_made() const { return decisions_made_; }
 
  private:
   /// One interference domain: a (cell, carrier) pair.  With one carrier
@@ -269,6 +331,14 @@ class Simulator {
   double now_s_ = 0.0;
   std::int64_t frame_count_ = 0;
   SimMetrics metrics_;
+
+  // Service seams.
+  TrafficMode traffic_mode_ = TrafficMode::kInternal;
+  std::vector<double> injected_bits_;  // per user; < 0 = nothing buffered
+  std::function<void(int, double)> arrival_observer_;
+  bool decision_timing_ = false;
+  std::vector<double> decision_times_s_;  // seconds per timed frame
+  std::int64_t decisions_made_ = 0;       // requests decided while timing
 };
 
 }  // namespace wcdma::sim

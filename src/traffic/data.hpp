@@ -11,6 +11,11 @@
 
 #include "src/common/rng.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::traffic {
 
 struct DataTrafficConfig {
@@ -40,6 +45,9 @@ class DataSource {
   void notify_burst_done();
 
   bool waiting_for_completion() const { return in_flight_; }
+
+  void save(common::BinaryWriter& w) const;
+  void load(common::BinaryReader& r);
 
  private:
   DataTrafficConfig config_;

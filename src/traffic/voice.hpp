@@ -8,6 +8,11 @@
 
 #include "src/common/rng.hpp"
 
+namespace wcdma::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wcdma::common
+
 namespace wcdma::traffic {
 
 struct VoiceConfig {
@@ -30,6 +35,9 @@ class VoiceSource {
   double activity_factor() const {
     return config_.mean_on_s / (config_.mean_on_s + config_.mean_off_s);
   }
+
+  void save(common::BinaryWriter& w) const;
+  void load(common::BinaryReader& r);
 
  private:
   VoiceConfig config_;

@@ -105,6 +105,48 @@ TEST(GoldenMetrics, ShrunkE5RunIsBitIdenticalToPreRefactor) {
   EXPECT_EQ(r.scenarios[1].merged.queue_delay_s.mean(), 1.9474999999999889);
 }
 
+// Multi-master-seed golden coverage: the single pre-refactor pin above runs
+// one seed, so a stream-discipline bug that only shifts *other* seeds'
+// trajectories (e.g. an extra RNG draw gated on a seed-dependent branch)
+// could slip through.  Three more master seeds, same shrunk E5 point,
+// pinned bit-exactly from the PR 7 tree.
+TEST(GoldenMetrics, ShrunkE5IsBitIdenticalAcrossThreeMasterSeeds) {
+  struct Golden {
+    std::uint64_t seed;
+    double mean_delay_s, data_bits_delivered;
+    std::int64_t grants, requests_seen;
+    double granted_sgr_mean, queue_delay_mean_s;
+  };
+  const Golden kGolden[] = {
+      {101, 3.4285714285714093, 611234.20982430712, 13, 11,
+       8.615384615384615, 1.9984615384615179},
+      {7777, 2.4359999999999769, 662236.89127396676, 15, 15,
+       12.0, 1.2426666666666537},
+      {424242, 2.3490909090908931, 683549.18727082224, 15, 14,
+       12.466666666666667, 1.6706666666666505},
+  };
+  for (const Golden& g : kGolden) {
+    SCOPED_TRACE("seed " + std::to_string(g.seed));
+    sweep::SweepSpec spec = scenario::e5_delay_rl();
+    spec.base.seed = g.seed;
+    spec.base.voice.users = 10;
+    spec.base.sim_duration_s = 8.0;
+    spec.base.warmup_s = 2.0;
+    spec.axes = {sweep::axis_data_users({6}),
+                 sweep::axis_scheduler({admission::SchedulerKind::kJabaSd})};
+    spec.replications = 2;
+    const sweep::SweepResult r = sweep::run_sweep(spec, 0);
+    ASSERT_EQ(r.scenarios.size(), 1u);
+    const sim::SimMetrics& m = r.scenarios[0].merged;
+    EXPECT_EQ(m.mean_delay_s(), g.mean_delay_s);
+    EXPECT_EQ(m.data_bits_delivered, g.data_bits_delivered);
+    EXPECT_EQ(m.grants, g.grants);
+    EXPECT_EQ(m.requests_seen, g.requests_seen);
+    EXPECT_EQ(m.granted_sgr.mean(), g.granted_sgr_mean);
+    EXPECT_EQ(m.queue_delay_s.mean(), g.queue_delay_mean_s);
+  }
+}
+
 // Tolerance golden for the `fast` provider on the same shrunk E5 grid: the
 // relaxed-precision path is deterministic per seed but explicitly NOT
 // bit-identical, so drift is caught with declared relative-error bounds

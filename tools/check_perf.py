@@ -32,6 +32,13 @@ One gate for PR 6 (far-field aggregation, 127-cell worlds):
                             sets plus the far-field aggregate keep the
                             per-user cost flat as the world grows).
 
+The same gate also accepts the service_main decision-latency schema
+({"bench": "decision_latency", ...}, PR 7): when both files carry it the
+comparison switches to decisions/sec (must reach (1 - tolerance) of the
+baseline) and p99 per-frame decision latency (must stay under
+(1 + tolerance) x the baseline), after checking that the two benches ran
+the same (scenario, policy, provider, seed) point.
+
 Usage: check_perf.py BASELINE_JSON FRESH_JSON [--tolerance 0.20]
            [--require-provider NAME ...] [--ratio NUM:DEN:FLOOR ...]
            [--cost-scaling PROVIDER:BASE:BIG:FACTOR ...]
@@ -42,9 +49,50 @@ import json
 import sys
 
 
-def load_entries(path):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def is_decision_latency(doc):
+    return doc.get("bench") == "decision_latency"
+
+
+def check_decision_latency(baseline, fresh, tolerance):
+    """Returns a list of failure strings (empty = pass)."""
+    failures = []
+    for field in ("scenario", "policy", "provider", "seed"):
+        if baseline.get(field) != fresh.get(field):
+            failures.append(
+                f"bench fingerprint mismatch: {field} "
+                f"{baseline.get(field)!r} vs {fresh.get(field)!r}")
+    if failures:
+        return failures
+
+    base_rate, fresh_rate = baseline["decisions_per_s"], fresh["decisions_per_s"]
+    floor = base_rate * (1.0 - tolerance)
+    status = "ok" if fresh_rate >= floor else "REGRESSED"
+    print(f"check_perf: decisions/s: base {base_rate:.0f} -> fresh "
+          f"{fresh_rate:.0f} (floor {floor:.0f}) {status}")
+    if fresh_rate < floor:
+        failures.append(
+            f"decisions/s {fresh_rate:.0f} < floor {floor:.0f} "
+            f"({base_rate:.0f} - {tolerance:.0%})")
+
+    base_p99, fresh_p99 = baseline["frame_p99_us"], fresh["frame_p99_us"]
+    cap = base_p99 * (1.0 + tolerance)
+    status = "ok" if fresh_p99 <= cap else "REGRESSED"
+    print(f"check_perf: p99 decision latency: base {base_p99:.1f} -> fresh "
+          f"{fresh_p99:.1f} us (cap {cap:.1f}) {status}")
+    if fresh_p99 > cap:
+        failures.append(
+            f"p99 decision latency {fresh_p99:.1f} us > cap {cap:.1f} us "
+            f"({base_p99:.1f} + {tolerance:.0%})")
+    return failures
+
+
+def load_entries(path):
+    doc = load_doc(path)
     entries = {}
     if "scales" in doc:  # schema 2
         for scale in doc["scales"]:
@@ -78,6 +126,21 @@ def main():
                              "grid <= FACTOR x the BASE-cell grid's "
                              "(sim_threads=1, fresh run)")
     args = parser.parse_args()
+
+    baseline_doc = load_doc(args.baseline)
+    fresh_doc = load_doc(args.fresh)
+    if is_decision_latency(baseline_doc) or is_decision_latency(fresh_doc):
+        if not (is_decision_latency(baseline_doc) and is_decision_latency(fresh_doc)):
+            sys.exit("check_perf: decision-latency and frames/sec JSON cannot "
+                     "be compared against each other")
+        failures = check_decision_latency(baseline_doc, fresh_doc, args.tolerance)
+        if failures:
+            print("check_perf: FAIL")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print("check_perf: decision-latency bench within tolerance")
+        return 0
 
     baseline = load_entries(args.baseline)
     fresh = load_entries(args.fresh)

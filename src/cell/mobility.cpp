@@ -37,6 +37,7 @@ Point random_in_disc(common::Rng& rng, const MobilityConfig& config) {
 Point reflect_into_disc(Point p, const MobilityConfig& config) {
   const Point rel = p - config.region_center;
   const double n = norm(rel);
+  // lint-allow(DET-FLOAT-EQ): exact-zero guard before dividing by n
   if (n <= config.region_radius_m || n == 0.0) return p;
   const double over = n - config.region_radius_m;
   const double scale = (config.region_radius_m - over) / n;  // fold overshoot back

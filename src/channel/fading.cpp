@@ -1,6 +1,7 @@
 #include "src/channel/fading.hpp"
 
 #include <cmath>
+#include <mutex>
 
 #include "src/common/assert.hpp"
 
@@ -8,7 +9,21 @@ namespace wcdma::channel {
 
 namespace {
 constexpr double kTwoPi = 6.283185307179586;
+
+// libstdc++'s cyl_bessel_j series runs through lgamma(), which writes the
+// process-global `signgam` -- a data race when Monte-Carlo replications
+// construct Simulators on worker threads.  The call sits on cold paths only
+// (AR(1) construction and the rare non-nominal-dt step), so serializing it
+// is free in the frame loop and keeps the result bit-identical to the
+// unsynchronized call (a reimplementation would not be).
+std::mutex bessel_mutex;
+
+double bessel_j0(double x) {
+  const std::lock_guard<std::mutex> lock(bessel_mutex);
+  return std::cyl_bessel_j(0.0, x);
 }
+
+}  // namespace
 
 JakesFading::JakesFading(double doppler_hz, common::Rng rng, int paths)
     : doppler_hz_(doppler_hz) {
@@ -49,7 +64,7 @@ double Ar1Fading::correlation(double doppler_hz, double dt) {
   const double x = kTwoPi * doppler_hz * dt;
   // j0 of the Clarke autocorrelation; clamp negatives (deep lag) to zero so
   // the AR recursion stays stable and variance-preserving.
-  const double r = std::cyl_bessel_j(0.0, x);
+  const double r = bessel_j0(x);
   return r > 0.0 ? r : 0.0;
 }
 

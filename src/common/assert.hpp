@@ -1,7 +1,12 @@
 // Lightweight contract checking. WCDMA_ASSERT is active in all build types
 // because the simulator is cheap relative to the cost of silently corrupt
 // physics; WCDMA_DEBUG_ASSERT compiles out in release builds and is meant
-// for per-sample hot paths.
+// for per-sample hot paths.  WCDMA_DCHECK is the invariant-checker variant:
+// like WCDMA_DEBUG_ASSERT it compiles out in release builds, but it carries
+// a human-written message naming the broken invariant, because the
+// conditions it guards (queue/state cross-checks, index freshness) are
+// whole-structure properties whose stringified expression alone is useless
+// in a crash report.
 #pragma once
 
 #include <cstdio>
@@ -14,6 +19,13 @@ namespace wcdma::common {
   std::abort();
 }
 
+[[noreturn]] inline void dcheck_fail(const char* expr, const char* msg,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "wcdma invariant violated: %s (%s) at %s:%d\n", msg, expr,
+               file, line);
+  std::abort();
+}
+
 }  // namespace wcdma::common
 
 #define WCDMA_ASSERT(expr)                                          \
@@ -23,6 +35,11 @@ namespace wcdma::common {
 
 #ifndef NDEBUG
 #define WCDMA_DEBUG_ASSERT(expr) WCDMA_ASSERT(expr)
+#define WCDMA_DCHECK(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) ::wcdma::common::dcheck_fail(#expr, msg, __FILE__, __LINE__); \
+  } while (0)
 #else
 #define WCDMA_DEBUG_ASSERT(expr) ((void)0)
+#define WCDMA_DCHECK(expr, msg) ((void)0)
 #endif

@@ -129,6 +129,7 @@ inline double Rng::normal() {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
+  // lint-allow(DET-FLOAT-EQ): Box-Muller rejects the exact-zero draw (log(0))
   } while (s >= 1.0 || s == 0.0);
   const double f = std::sqrt(-2.0 * std::log(s) / s);
   spare_normal_ = v * f;

@@ -40,6 +40,7 @@ struct Tableau {
     for (std::size_t r = 0; r <= m; ++r) {
       if (r == pr) continue;
       const double f = at(r, pc);
+      // lint-allow(DET-FLOAT-EQ): exact-zero skip; any other value must eliminate
       if (f == 0.0) continue;
       for (std::size_t c = 0; c <= n_total; ++c) at(r, c) -= f * at(pr, c);
     }
@@ -210,6 +211,7 @@ LpResult SimplexSolver::solve(const LpProblem& problem) const {
   // Price out the current basis.
   for (std::size_t r = 0; r < m; ++r) {
     const std::size_t bc = tab.basis[r];
+    // lint-allow(DET-FLOAT-EQ): exact-zero coefficients price out to a no-op
     if (bc < n && problem.c[bc] != 0.0) {
       const double f = problem.c[bc];
       for (std::size_t c = 0; c <= tab.n_total; ++c) tab.at(m, c) -= f * tab.at(r, c);

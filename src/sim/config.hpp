@@ -121,6 +121,7 @@ struct LoadRampConfig {
   double fall_s = 0.0;
   std::vector<double> cell_weights;
 
+  // lint-allow(DET-FLOAT-EQ): 1.0 is the exact "ramp disabled" sentinel
   bool enabled() const { return peak_scale != 1.0; }
   /// Arrival-intensity multiplier for a user homed in `cell` at `now_s`.
   double scale(double now_s, std::size_t cell) const;

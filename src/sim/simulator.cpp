@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <string>
 
 #include "src/common/assert.hpp"
 #include "src/common/fastmath.hpp"
@@ -217,12 +218,15 @@ void Simulator::step_frame() {
   step_power_control();
   step_traffic();
   if (decision_timing_) {
+    // lint-allow(DET-WALLCLOCK): latency bench instrumentation; the measured
+    // durations feed BENCH_decision_latency.json only, never simulation state
     const auto t0 = std::chrono::steady_clock::now();
     build_frame_context();
     for (int c = 0; c < config_.placement.carriers; ++c) {
       run_admission(mac::LinkDirection::kForward, c);
       run_admission(mac::LinkDirection::kReverse, c);
     }
+    // lint-allow(DET-WALLCLOCK): closes the bench-only timing span above
     const auto t1 = std::chrono::steady_clock::now();
     decision_times_s_.push_back(std::chrono::duration<double>(t1 - t0).count());
     decisions_made_ += static_cast<std::int64_t>(frame_ctx_.requests.size());
@@ -238,6 +242,9 @@ void Simulator::step_frame() {
   collect_frame_metrics();
   now_s_ += config_.frame_s;
   ++frame_count_;
+#ifndef NDEBUG
+  if (frame_count_ % kInvariantCheckPeriod == 0) validate_invariants();
+#endif
 }
 
 void Simulator::for_shards(
@@ -898,6 +905,7 @@ constexpr std::uint32_t kSnapshotVersion = 1;
 }  // namespace
 
 std::vector<std::uint8_t> Simulator::snapshot() const {
+  validate_invariants();
   common::BinaryWriter w;
   w.u32(kSnapshotMagic);
   w.u32(kSnapshotVersion);
@@ -965,18 +973,38 @@ std::vector<std::uint8_t> Simulator::snapshot() const {
   return w.take();
 }
 
-bool Simulator::restore(const std::vector<std::uint8_t>& bytes) {
-  common::BinaryReader r(bytes);
+bool Simulator::check_snapshot_header(common::BinaryReader& r) const {
   if (r.u32() != kSnapshotMagic || r.u32() != kSnapshotVersion) return false;
   if (r.u64() != config_.seed) return false;
   if (r.u64() != users_.size()) return false;
   if (r.u64() != layout_.num_cells()) return false;
   if (r.i32() != config_.placement.carriers) return false;
+  // lint-allow(DET-FLOAT-EQ): config fingerprint; any bit difference must refuse
   if (r.f64() != config_.frame_s) return false;
   if (r.str() != admission_policy_name_) return false;
   if (r.str() != csi_->name()) return false;
-  if (!r.ok()) return false;
+  return r.ok();
+}
 
+bool Simulator::restore(const std::vector<std::uint8_t>& bytes) {
+  common::BinaryReader r(bytes);
+  // Header rejection is mutation-free; the body is restored transactionally
+  // against a rollback snapshot, so a truncated or corrupt archive leaves
+  // the simulator exactly as it was (tests truncate at every 64-byte
+  // boundary and diff the state).
+  if (!check_snapshot_header(r)) return false;
+  const std::vector<std::uint8_t> backup = snapshot();
+  if (restore_body(r)) {
+    validate_invariants();
+    return true;
+  }
+  common::BinaryReader back(backup);
+  const bool rolled_back = check_snapshot_header(back) && restore_body(back);
+  WCDMA_ASSERT(rolled_back && "rollback of a just-taken snapshot must succeed");
+  return false;
+}
+
+bool Simulator::restore_body(common::BinaryReader& r) {
   now_s_ = r.f64();
   frame_count_ = r.i64();
   far_refresh_left_s_ = r.f64();
@@ -1044,6 +1072,69 @@ bool Simulator::restore(const std::vector<std::uint8_t>& bytes) {
   if (!admission_policy_->load_state(r)) return false;
   if (!metrics_.load(r)) return false;
   return r.ok() && r.at_end();
+}
+
+bool Simulator::check_invariants(std::string* why) const {
+  const auto fail = [why](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+
+  // SoA lane shapes vs the world shape fixed at construction.
+  const std::size_t n_users = users_.size();
+  const std::size_t n_cells = layout_.num_cells();
+  const auto n_carriers = static_cast<std::size_t>(config_.placement.carriers);
+  if (state_.num_users() != n_users || state_.num_cells() != n_cells)
+    return fail("FrameState lane shape diverged from the user/cell counts");
+  if (prev_tx_w_.size() != n_users || user_carrier_.size() != n_users ||
+      injected_bits_.size() != n_users)
+    return fail("per-user SoA mirrors diverged from the population size");
+  if (stations_.size() != n_cells * n_carriers)
+    return fail("station table size diverged from cells x carriers");
+
+  // Request-queue buckets vs the per-user burst state they index.
+  if (queues_.carriers() != config_.placement.carriers)
+    return fail("request-queue carrier count diverged from the config");
+  std::size_t queued = 0;
+  for (int c = 0; c < config_.placement.carriers; ++c) {
+    for (const bool forward : {true, false}) {
+      const std::vector<int>& b = queues_.bucket(forward, c);
+      int prev = -1;
+      for (const int id : b) {
+        if (id <= prev)
+          return fail("request bucket is not strictly ascending");
+        prev = id;
+        if (id < 0 || static_cast<std::size_t>(id) >= n_users)
+          return fail("request bucket holds an out-of-range user id");
+        const User& u = users_[static_cast<std::size_t>(id)];
+        if (!u.is_data || !u.has_pending || u.burst.active ||
+            u.forward_dir != forward || u.carrier != c)
+          return fail("user " + std::to_string(id) +
+                      "'s burst state disagrees with its queue bucket");
+      }
+      queued += b.size();
+    }
+  }
+  if (static_cast<int>(queued) != pending_requests())
+    return fail("queue bucket total diverged from the O(users) pending scan");
+
+  // CSR candidate index vs the provider's live candidate sets + epoch.
+  if (state_.has_candidate_index() && !state_.candidate_index_matches(*csi_))
+    return fail("CSR candidate index is stale vs the provider's sets/epoch");
+
+  // Far-field TX buckets vs a from-scratch aggregation.
+  if (far_field_.active() && !far_field_.tx_buckets_match_rebuild(1e-9))
+    return fail("far-field TX buckets diverged from a fresh aggregation");
+
+  if (why) why->clear();
+  return true;
+}
+
+void Simulator::validate_invariants() const {
+#ifndef NDEBUG
+  std::string why;
+  WCDMA_DCHECK(check_invariants(&why), why.c_str());
+#endif
 }
 
 double Simulator::forward_power_w(std::size_t cell, int carrier) const {

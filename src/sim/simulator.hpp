@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -158,6 +159,19 @@ class Simulator {
   /// partial) on magic/version/fingerprint mismatch or truncation.
   bool restore(const std::vector<std::uint8_t>& bytes);
 
+  /// Cross-checks every incrementally-maintained structure against its
+  /// from-scratch rebuild: request-queue buckets vs per-user pending state,
+  /// CSR candidate index vs the provider's live sets, far-field TX buckets
+  /// vs a fresh aggregation, SoA lane sizes vs user/cell counts.  Always
+  /// compiled (Release tests call it directly); returns false and names the
+  /// first broken invariant in *why (when non-null) instead of aborting.
+  bool check_invariants(std::string* why = nullptr) const;
+  /// Debug/sanitizer builds: aborts via WCDMA_DCHECK when check_invariants
+  /// fails.  Compiled out in Release.  Called at snapshot(), restore(), and
+  /// every kInvariantCheckPeriod-th frame of step_frame().
+  void validate_invariants() const;
+  static constexpr std::int64_t kInvariantCheckPeriod = 64;
+
   /// Decision-latency instrumentation: when enabled, each frame's admission
   /// phase (context snapshot + every scheduling round) is wall-clock timed
   /// and the per-frame seconds plus the decided-request count accumulate
@@ -274,6 +288,14 @@ class Simulator {
   std::size_t round_index(int carrier, bool forward) const {
     return static_cast<std::size_t>(carrier) * 2 + (forward ? 0 : 1);
   }
+
+  /// Archive fingerprint check (magic/version/config); reads from `r` but
+  /// mutates no simulator state, leaving `r` positioned at the body.
+  bool check_snapshot_header(common::BinaryReader& r) const;
+  /// Body restore: mutates state and may partially apply on a truncated or
+  /// corrupt archive -- restore() wraps it transactionally with a rollback
+  /// snapshot so callers never observe the partial state.
+  bool restore_body(common::BinaryReader& r);
 
   bool in_warmup() const { return now_s_ < config_.warmup_s; }
   double sch_mean_csi(const User& u) const;

@@ -11,6 +11,7 @@ double mean_burst_bytes(const DataTrafficConfig& config) {
   const double a = config.pareto_alpha;
   const double xm = config.min_burst_bytes;
   const double cap = config.max_burst_bytes;
+  // lint-allow(DET-FLOAT-EQ): alpha == 1 exactly is the Pareto-mean singularity
   WCDMA_ASSERT(a > 0.0 && a != 1.0 && cap > xm);
   // E[X] for Pareto truncated at cap.
   const double f_cap = 1.0 - std::pow(xm / cap, a);

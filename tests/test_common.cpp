@@ -9,6 +9,7 @@
 
 #include "src/common/matrix.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/serialize.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/table.hpp"
 #include "src/common/thread_pool.hpp"
@@ -336,6 +337,87 @@ TEST(ParallelForIndex, ThreadCountInvariantResult) {
     return out;
   };
   EXPECT_EQ(run(1), run(4));
+}
+
+// Startup/shutdown churn with concurrent submitters: the Simulator's
+// persistent pool spawns no workers on single-core hosts, so this test is
+// what actually drives the pool's handoff paths under the TSan CI config.
+TEST(ThreadPool, StressSubmitAndTeardown) {
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    std::atomic<int> count{0};
+    {
+      ThreadPool pool(4);
+      std::vector<std::thread> submitters;
+      for (int s = 0; s < 3; ++s) {
+        submitters.emplace_back([&] {
+          for (int i = 0; i < 50; ++i) pool.submit([&] { count.fetch_add(1); });
+        });
+      }
+      for (auto& t : submitters) t.join();
+      pool.wait_idle();
+      EXPECT_EQ(count.load(), 150);
+      // Destructor joins workers with tasks already drained.
+    }
+  }
+}
+
+TEST(ParallelForIndex, StressRepeatedLaunches) {
+  // parallel_for_index spawns fresh threads per call; hammer the spawn/join
+  // and work-stealing paths so TSan sees them even on one-core hosts.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for_index(256, 4, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 256u * 255u / 2);
+  }
+}
+
+// ------------------------------------------------------------- serialize
+
+TEST(BinaryReader, SoftFailsAtEveryTruncationPoint) {
+  BinaryWriter w;
+  w.u32(0xDEADBEEF);
+  w.str("fingerprint");
+  w.vec_f64({1.0, -2.5, 3.25});
+  w.boolean(true);
+  w.i64(-42);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> trunc(bytes.begin(),
+                                    bytes.begin() + static_cast<long>(cut));
+    BinaryReader r(trunc);
+    r.u32();
+    r.str();
+    std::vector<double> v;
+    r.vec_f64(v);
+    r.boolean();
+    r.i64();
+    // Every prefix-truncated archive must clear ok() -- never throw, abort,
+    // or read out of bounds (ASan/TSan configs run this test too).
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+  }
+  BinaryReader full(bytes);
+  EXPECT_EQ(full.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(full.str(), "fingerprint");
+  std::vector<double> v;
+  full.vec_f64(v);
+  EXPECT_EQ(v, (std::vector<double>{1.0, -2.5, 3.25}));
+  EXPECT_TRUE(full.boolean());
+  EXPECT_EQ(full.i64(), -42);
+  EXPECT_TRUE(full.ok() && full.at_end());
+}
+
+TEST(BinaryReader, ImplausibleSizePrefixFailsInsteadOfAllocating) {
+  BinaryWriter w;
+  w.u64(~std::uint64_t{0});  // absurd element count for any payload
+  const std::vector<std::uint8_t> bytes = w.take();
+  BinaryReader r(bytes);
+  std::vector<double> v;
+  r.vec_f64(v);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(v.empty());
 }
 
 // ---------------------------------------------------------------- table

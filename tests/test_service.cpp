@@ -421,6 +421,35 @@ TEST(CheckpointRestore, RefusesMismatchedConfigAndTruncatedArchives) {
   }
 }
 
+// Transactional restore: an archive truncated at ANY 64-byte boundary must
+// soft-fail and leave the victim exactly as it was -- never crash, never
+// partially apply.  Pinned by comparing the victim's own snapshot bytes
+// before and after each refused restore (snapshots are deterministic).
+TEST(CheckpointRestore, TruncationAtEvery64ByteBoundaryLeavesStateUntouched) {
+  const sim::SystemConfig cfg = hotspot_config(11);
+  sim::Simulator donor(cfg);
+  for (int f = 0; f < 15; ++f) donor.step_frame();
+  const std::vector<std::uint8_t> archive = donor.snapshot();
+
+  sim::Simulator victim(cfg);
+  for (int f = 0; f < 7; ++f) victim.step_frame();
+  const std::vector<std::uint8_t> before = victim.snapshot();
+
+  for (std::size_t cut = 0; cut < archive.size(); cut += 64) {
+    const std::vector<std::uint8_t> truncated(
+        archive.begin(), archive.begin() + static_cast<std::ptrdiff_t>(cut));
+    ASSERT_FALSE(victim.restore(truncated)) << "cut at " << cut;
+    ASSERT_TRUE(victim.snapshot() == before)
+        << "refused restore mutated state (cut at " << cut << ")";
+  }
+  // The intact archive still restores, and the restored state satisfies the
+  // runtime invariant contract.
+  ASSERT_TRUE(victim.restore(archive));
+  std::string why;
+  EXPECT_TRUE(victim.check_invariants(&why)) << why;
+  EXPECT_TRUE(victim.snapshot() == archive);
+}
+
 TEST(CheckpointRestore, ServiceCheckpointCarriesBufferedInjections) {
   const sim::SystemConfig cfg = hotspot_config(9);
   const int data_user = cfg.voice.users;  // users order: voice, then data

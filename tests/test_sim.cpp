@@ -3,6 +3,8 @@
 // Scenarios use the 7-cell layout and short horizons to stay fast.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "src/sim/monte_carlo.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -175,6 +177,47 @@ TEST(Simulator, CoverageBinsPopulated) {
   std::size_t populated = 0;
   for (const auto& bin : m.delay_by_distance) populated += bin.count() > 0 ? 1 : 0;
   EXPECT_GE(populated, 3u);  // users spread over several distance bins
+}
+
+// The runtime invariant checker (debug builds run it automatically at
+// snapshot/restore and every kInvariantCheckPeriod frames; Release tests
+// call it directly here) must hold through the whole frame loop, on both
+// the default exhaustive provider and the culled provider with the
+// far-field aggregator live.
+TEST(Simulator, InvariantsHoldThroughRunDefaultProvider) {
+  SystemConfig cfg = small_config();
+  cfg.sim_duration_s = 6.0;
+  Simulator simulator(cfg);
+  std::string why;
+  ASSERT_TRUE(simulator.check_invariants(&why)) << why;
+  const int frames = static_cast<int>(cfg.sim_duration_s / cfg.frame_s);
+  for (int f = 0; f < frames; ++f) {
+    simulator.step_frame();
+    ASSERT_TRUE(simulator.check_invariants(&why))
+        << "frame " << f << ": " << why;
+  }
+}
+
+TEST(Simulator, InvariantsHoldWithCulledProviderAndFarField) {
+  SystemConfig cfg = small_config();
+  cfg.sim_duration_s = 6.0;
+  cfg.csi.provider = "culled";
+  cfg.csi.refresh_interval_s = 0.2;
+  cfg.csi.cull_radius_scale = 2.0;
+  cfg.csi.far_field.enabled = true;
+  Simulator simulator(cfg);
+  ASSERT_TRUE(simulator.far_field_active());
+  std::string why;
+  const int frames = static_cast<int>(cfg.sim_duration_s / cfg.frame_s);
+  for (int f = 0; f < frames; ++f) {
+    simulator.step_frame();
+    ASSERT_TRUE(simulator.check_invariants(&why))
+        << "frame " << f << ": " << why;
+  }
+  // And the contract survives a snapshot/restore round trip.
+  Simulator resumed(cfg);
+  ASSERT_TRUE(resumed.restore(simulator.snapshot()));
+  ASSERT_TRUE(resumed.check_invariants(&why)) << why;
 }
 
 TEST(MonteCarlo, ThreadCountInvariant) {

@@ -11,6 +11,8 @@
 #    provider table and the docs/ACCURACY.md accuracy ladder (same binary;
 #    a provider added to the registry without its accuracy contract being
 #    documented fails the docs job).
+# 4. Every rule ID in the determinism linter's table must have a rationale
+#    section in tools/lint_rules.md (skipped when python3 is unavailable).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -67,6 +69,19 @@ if [ "$#" -ge 1 ]; then
   done < <("$sweep_main" --list-csi-providers | awk '{print $1}')
 else
   echo "note: no sweep_main binary given; skipping preset/provider checks"
+fi
+
+# --- 4. every lint rule ID has a rationale section ------------------------
+if command -v python3 >/dev/null 2>&1; then
+  while IFS=$'\t' read -r rule_id _summary; do
+    [ -z "$rule_id" ] && continue
+    if ! grep -q "### \`$rule_id\`" tools/lint_rules.md; then
+      echo "UNDOCUMENTED LINT RULE: $rule_id missing from tools/lint_rules.md"
+      fail=1
+    fi
+  done < <(python3 tools/lint_determinism.py --list-rules)
+else
+  echo "note: python3 unavailable; skipping lint-rule doc check"
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -11,15 +11,51 @@
 // touching out-of-range memory, so a truncated or corrupted snapshot is a
 // recoverable `restore() == false`, never UB.  Writers and readers must
 // agree on field order; every archive starts with a caller-checked magic +
-// version header.
+// version header and (since snapshot v2) ends with a crc32() footer, so a
+// bit-flipped archive is refused by checksum before any field is parsed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>
 
 namespace wcdma::common {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `size` bytes.
+/// Chainable: pass a previous return value as `seed` to extend a running
+/// checksum.  Archives append crc32(payload) as a little-endian u32 footer so
+/// corruption (bit-flips as well as truncation) is detected by checksum
+/// rather than parse luck.
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                           std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = detail::kCrc32Table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& bytes,
+                           std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
 
 class BinaryWriter {
  public:

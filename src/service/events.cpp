@@ -58,6 +58,7 @@ const char* to_string(ResultCode code) {
     case ResultCode::kNackBadPayload: return "nack-bad-payload";
     case ResultCode::kNackOutOfOrder: return "nack-out-of-order";
     case ResultCode::kNackNoPending: return "nack-no-pending";
+    case ResultCode::kNackOverload: return "nack-overload";
   }
   return "?";
 }

@@ -63,8 +63,9 @@ enum class ResultCode : std::uint8_t {
   kNackBadPayload,    // non-positive bits / carrier outside the plan
   kNackOutOfOrder,    // event stamped for a frame the service is not at
   kNackNoPending,     // release with nothing to release
+  kNackOverload,      // injection queue at its bound; request load-shed
 };
-inline constexpr std::size_t kNumResultCodes = 8;
+inline constexpr std::size_t kNumResultCodes = 9;
 
 struct EventResult {
   ResultCode code = ResultCode::kAck;

@@ -45,6 +45,15 @@ EventResult AdmissionService::validate(const Event& e) const {
       if (sim_.user_has_pending(u) || sim_.user_injection_queued(u)) {
         return {ResultCode::kNackDuplicate};
       }
+      // Overload gate, checked last so a malformed request keeps its more
+      // specific nack: a bounded injection queue sheds requests at the cap
+      // instead of buffering without limit.  cap == 0 means unbounded --
+      // the batch path and every recorded trace run with the gate off.
+      if (const int cap = sim_.config().service.injection_queue_cap;
+          cap > 0 &&
+          sim_.injection_queue_depth() >= static_cast<std::size_t>(cap)) {
+        return {ResultCode::kNackOverload};
+      }
       break;
     case EventType::kRelease:
       if (!sim_.user_is_data(u)) return {ResultCode::kNackNotData};
@@ -77,6 +86,14 @@ EventResult AdmissionService::submit(const Event& e) {
   const EventResult result = validate(e);
   if (!result.ok()) {
     ++counters_.nacks;
+    if (result.code == ResultCode::kNackOverload) {
+      // The shed count is the one observable a refused request leaves
+      // behind; it rides in SimMetrics so checkpoints and sweep merges
+      // carry it, and every other metric stays bit-identical to a run
+      // that never saw the excess request.
+      ++counters_.sheds;
+      sim_.note_overload_shed();
+    }
     return result;
   }
   switch (e.type) {

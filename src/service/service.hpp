@@ -42,6 +42,9 @@ struct ServiceCounters {
   std::int64_t releases = 0;
   std::int64_t hand_downs = 0;
   std::int64_t reports = 0;
+  /// kNackOverload subset of `nacks`: requests shed by the bounded
+  /// injection queue (config.service.injection_queue_cap).
+  std::int64_t sheds = 0;
 };
 
 /// The trace-header fingerprint of a simulator's run identity.

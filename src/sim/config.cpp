@@ -50,6 +50,7 @@ const SystemConfig& SystemConfig::validate() const {
   WCDMA_ASSERT(placement.carriers >= 1);
   WCDMA_ASSERT(placement.home_radius_scale > 0.0);
   WCDMA_ASSERT(sim_threads >= 0);
+  WCDMA_ASSERT(service.injection_queue_cap >= 0);
   WCDMA_ASSERT(load_ramp.peak_scale > 0.0);
   WCDMA_ASSERT(load_ramp.rise_s >= 0.0 && load_ramp.hold_s >= 0.0 &&
                load_ramp.fall_s >= 0.0);

@@ -176,6 +176,20 @@ struct CsiConfig {
   FarFieldConfig far_field{};
 };
 
+/// Overload protection for the message-driven service core
+/// (src/service/): the injection queue that buffers accepted burst
+/// requests until the frame's traffic phase drains them is bounded, and
+/// requests beyond the bound are shed with ResultCode::kNackOverload
+/// (counted in SimMetrics::overload_sheds) instead of growing the queue
+/// without limit.  Shedding is a pure refusal -- a shed request touches no
+/// simulator state -- so a saturated service degrades gracefully and the
+/// surviving run stays bit-identical to one that never saw the excess.
+struct ServiceOverloadConfig {
+  /// Max buffered injections per frame; 0 = unbounded (the default, and
+  /// the only value the batch path and recorded traces ever exercise).
+  int injection_queue_cap = 0;
+};
+
 struct SystemConfig {
   std::uint64_t seed = 42;
   double frame_s = 0.020;
@@ -206,6 +220,7 @@ struct SystemConfig {
   mac::MacTimersConfig mac_timers{};
   CsiConfig csi{};
   LoadRampConfig load_ramp{};
+  ServiceOverloadConfig service{};
 
   /// Aborts on invalid combinations; returns *this for chaining.
   const SystemConfig& validate() const;

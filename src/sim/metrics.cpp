@@ -33,6 +33,7 @@ void SimMetrics::merge(const SimMetrics& other) {
   bs_power_saturations += other.bs_power_saturations;
   mobile_power_saturations += other.mobile_power_saturations;
   voice_sir_error_db.merge(other.voice_sir_error_db);
+  overload_sheds += other.overload_sheds;
 }
 
 void SimMetrics::save(common::BinaryWriter& w) const {
@@ -58,6 +59,7 @@ void SimMetrics::save(common::BinaryWriter& w) const {
   w.i64(bs_power_saturations);
   w.i64(mobile_power_saturations);
   voice_sir_error_db.save(w);
+  w.i64(overload_sheds);
 }
 
 bool SimMetrics::load(common::BinaryReader& r) {
@@ -86,6 +88,7 @@ bool SimMetrics::load(common::BinaryReader& r) {
   bs_power_saturations = r.i64();
   mobile_power_saturations = r.i64();
   voice_sir_error_db.load(r);
+  overload_sheds = r.i64();
   return r.ok();
 }
 

@@ -54,6 +54,11 @@ struct SimMetrics {
   std::int64_t mobile_power_saturations = 0;
   common::StreamingMoments voice_sir_error_db;     // achieved - target
 
+  /// Burst requests refused by the service's bounded injection queue
+  /// (ResultCode::kNackOverload).  Zero on the batch path: internal
+  /// arrivals never cross the service gate.
+  std::int64_t overload_sheds = 0;
+
   void merge(const SimMetrics& other);
 
   /// Checkpoint serialization: every accumulator round-trips bit-exactly so

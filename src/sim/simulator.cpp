@@ -194,9 +194,13 @@ Simulator::Simulator(const SystemConfig& config)
   }
 }
 
+std::int64_t Simulator::total_frames() const {
+  return static_cast<std::int64_t>(
+      std::llround(config_.sim_duration_s / config_.frame_s));
+}
+
 SimMetrics Simulator::run() {
-  const std::int64_t frames =
-      static_cast<std::int64_t>(std::llround(config_.sim_duration_s / config_.frame_s));
+  const std::int64_t frames = total_frames();
   for (std::int64_t f = 0; f < frames; ++f) step_frame();
   return metrics_;
 }
@@ -901,7 +905,10 @@ void Simulator::set_user_carrier(std::size_t user, int carrier) {
 
 namespace {
 constexpr std::uint32_t kSnapshotMagic = 0x504E5357;  // "WSNP" little-endian
-constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: trailing crc32 footer over the whole payload (header included), so a
+// bit-flipped checkpoint is refused by checksum instead of parse luck.
+constexpr std::uint32_t kSnapshotVersion = 2;
+constexpr std::size_t kSnapshotFooterBytes = 4;
 }  // namespace
 
 std::vector<std::uint8_t> Simulator::snapshot() const {
@@ -970,6 +977,8 @@ std::vector<std::uint8_t> Simulator::snapshot() const {
   csi_->save_state(w);
   admission_policy_->save_state(w);
   metrics_.save(w);
+  const std::uint32_t crc = common::crc32(w.bytes());
+  w.u32(crc);
   return w.take();
 }
 
@@ -987,18 +996,29 @@ bool Simulator::check_snapshot_header(common::BinaryReader& r) const {
 }
 
 bool Simulator::restore(const std::vector<std::uint8_t>& bytes) {
-  common::BinaryReader r(bytes);
-  // Header rejection is mutation-free; the body is restored transactionally
-  // against a rollback snapshot, so a truncated or corrupt archive leaves
-  // the simulator exactly as it was (tests truncate at every 64-byte
-  // boundary and diff the state).
+  // Footer first: the archive ends in crc32(payload), so a bit flip
+  // anywhere -- or a truncation, which shears the footer off its payload --
+  // is refused by checksum before a single field is parsed.  The CRC check,
+  // like header rejection, is mutation-free; the body is then restored
+  // transactionally against a rollback snapshot, so even an archive that
+  // passes the checksum but fails structurally (tests truncate at every
+  // 64-byte boundary and bit-flip every stride) leaves the simulator
+  // exactly as it was.
+  if (bytes.size() <= kSnapshotFooterBytes) return false;
+  const std::size_t payload = bytes.size() - kSnapshotFooterBytes;
+  std::uint32_t stored = 0;
+  for (std::size_t i = 0; i < kSnapshotFooterBytes; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[payload + i]) << (8 * i);
+  }
+  if (common::crc32(bytes.data(), payload) != stored) return false;
+  common::BinaryReader r(bytes.data(), payload);
   if (!check_snapshot_header(r)) return false;
   const std::vector<std::uint8_t> backup = snapshot();
   if (restore_body(r)) {
     validate_invariants();
     return true;
   }
-  common::BinaryReader back(backup);
+  common::BinaryReader back(backup.data(), backup.size() - kSnapshotFooterBytes);
   const bool rolled_back = check_snapshot_header(back) && restore_body(back);
   WCDMA_ASSERT(rolled_back && "rollback of a just-taken snapshot must succeed");
   return false;

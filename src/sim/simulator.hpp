@@ -69,6 +69,12 @@ class Simulator {
   /// Advances exactly one frame (exposed for tests and custom drivers).
   void step_frame();
 
+  /// Frames in the configured duration; run() is exactly this many
+  /// step_frame() calls, so an external driver (the sweep worker's
+  /// checkpoint-cadence loop) that steps from frame_index() to
+  /// total_frames() reproduces run() bit-for-bit.
+  std::int64_t total_frames() const;
+
   double now_s() const { return now_s_; }
   const SimMetrics& metrics() const { return metrics_; }
   const SystemConfig& config() const { return config_; }
@@ -139,6 +145,17 @@ class Simulator {
   bool user_injection_queued(std::size_t user) const {
     return injected_bits_[user] >= 0.0;
   }
+  /// Buffered-injection count (requests accepted this frame, not yet
+  /// drained by the traffic phase).  O(users) scan: the service's overload
+  /// gate runs per submitted event, never inside the frame hot path.
+  std::size_t injection_queue_depth() const {
+    std::size_t depth = 0;
+    for (double bits : injected_bits_) depth += bits >= 0.0 ? 1 : 0;
+    return depth;
+  }
+  /// Records one load-shed burst request (service overload gate); the
+  /// counter rides in SimMetrics so checkpoints and merges carry it.
+  void note_overload_shed() { ++metrics_.overload_sheds; }
 
   std::int64_t frame_index() const { return frame_count_; }
 

@@ -258,13 +258,27 @@ const ScenarioResult& SweepResult::at(const std::vector<std::size_t>& value_indi
   return scenarios.front();  // unreachable
 }
 
+std::size_t item_count(const SweepSpec& spec) {
+  const std::size_t scenarios = spec.scenario_count();
+  WCDMA_ASSERT(spec.replications <= SIZE_MAX / scenarios &&
+               "scenario x replication grid overflows");
+  return scenarios * spec.replications;
+}
+
+sim::SystemConfig item_config(const SweepSpec& spec, std::size_t item) {
+  WCDMA_ASSERT(item < item_count(spec));
+  const std::size_t scenario_index = item / spec.replications;
+  const std::size_t replication = item % spec.replications;
+  Scenario scenario = spec.scenario(scenario_index);
+  scenario.config.seed = item_seed(
+      spec.base.seed, spec.common_random_numbers ? 0 : scenario_index, replication);
+  return scenario.config;
+}
+
 SweepResult run_sweep(const SweepSpec& spec, std::size_t threads,
                       const ProgressFn& progress) {
   spec.validate();
-  const std::size_t scenarios = spec.scenario_count();
-  const std::size_t reps = spec.replications;
-  WCDMA_ASSERT(reps <= SIZE_MAX / scenarios && "scenario x replication grid overflows");
-  const std::size_t total = scenarios * reps;
+  const std::size_t total = item_count(spec);
 
   // One slot per (scenario, replication) work item; workers never share a
   // slot, and the deterministic merge below runs after the barrier.
@@ -272,18 +286,24 @@ SweepResult run_sweep(const SweepSpec& spec, std::size_t threads,
   std::mutex progress_mutex;
   std::size_t done = 0;
   common::parallel_for_index(total, threads, [&](std::size_t item) {
-    const std::size_t scenario_index = item / reps;
-    const std::size_t replication = item % reps;
-    Scenario scenario = spec.scenario(scenario_index);
-    scenario.config.seed = item_seed(
-        spec.base.seed, spec.common_random_numbers ? 0 : scenario_index, replication);
-    sim::Simulator simulator(scenario.config);
+    sim::Simulator simulator(item_config(spec, item));
     per_item[item] = simulator.run();
     if (progress) {
       std::lock_guard<std::mutex> lock(progress_mutex);
       progress(++done, total);
     }
   });
+
+  return merge_item_metrics(spec, per_item);
+}
+
+SweepResult merge_item_metrics(const SweepSpec& spec,
+                               const std::vector<sim::SimMetrics>& per_item) {
+  spec.validate();
+  const std::size_t scenarios = spec.scenario_count();
+  const std::size_t reps = spec.replications;
+  WCDMA_ASSERT(per_item.size() == item_count(spec) &&
+               "one metrics slot per (scenario, replication) item");
 
   SweepResult result;
   result.name = spec.name;

@@ -107,6 +107,17 @@ struct SweepSpec {
 std::uint64_t item_seed(std::uint64_t master_seed, std::size_t scenario_index,
                         std::size_t replication_index);
 
+/// Total (scenario x replication) work items; item `i` is
+/// (scenario i / replications, replication i % replications).
+std::size_t item_count(const SweepSpec& spec);
+
+/// The exact SystemConfig work item `item` runs under -- scenario axes
+/// applied to the base plus the derived item_seed() (honouring
+/// common_random_numbers).  Shared by the in-process runner and the
+/// multi-process workers (src/runner/), so both execute identical
+/// simulations by construction.
+sim::SystemConfig item_config(const SweepSpec& spec, std::size_t item);
+
 struct ScenarioResult {
   std::size_t index = 0;
   std::vector<std::size_t> value_indices;
@@ -136,6 +147,14 @@ using ProgressFn = std::function<void(std::size_t, std::size_t)>;
 /// (0 = inline on the caller); the master seed is `spec.base.seed`.
 SweepResult run_sweep(const SweepSpec& spec, std::size_t threads,
                       const ProgressFn& progress = nullptr);
+
+/// Deterministic merge of per-item metrics (indexed as item_count() lays
+/// them out) into the result table, in (scenario, replication) index order
+/// regardless of who computed the items or in what order they finished.
+/// run_sweep() and the multi-process supervisor both end here, which is
+/// what makes their outputs byte-identical for any worker count.
+SweepResult merge_item_metrics(const SweepSpec& spec,
+                               const std::vector<sim::SimMetrics>& per_item);
 
 /// Standard result table: one row per scenario with the axis labels plus
 /// the headline metrics (delay, throughput, grant rate, SGR, outage).

@@ -409,6 +409,30 @@ TEST(BinaryReader, SoftFailsAtEveryTruncationPoint) {
   EXPECT_TRUE(full.ok() && full.at_end());
 }
 
+TEST(Crc32, MatchesTheIeeeCheckValueAndSeesEveryBit) {
+  // "123456789" -> 0xCBF43926 is THE published check value for CRC-32/IEEE
+  // (reflected poly 0xEDB88320); matching it pins polynomial, reflection,
+  // init, and final xor all at once.
+  const char* check = "123456789";
+  EXPECT_EQ(common::crc32(reinterpret_cast<const std::uint8_t*>(check), 9),
+            0xCBF43926u);
+  EXPECT_EQ(common::crc32(nullptr, 0), 0u);
+
+  std::vector<std::uint8_t> bytes(257);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const std::uint32_t base = common::crc32(bytes);
+  for (std::size_t i = 0; i < bytes.size(); i += 19) {
+    for (int bit : {0, 7}) {
+      bytes[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(common::crc32(bytes), base) << "byte " << i << " bit " << bit;
+      bytes[i] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+  EXPECT_EQ(common::crc32(bytes), base);
+}
+
 TEST(BinaryReader, ImplausibleSizePrefixFailsInsteadOfAllocating) {
   BinaryWriter w;
   w.u64(~std::uint64_t{0});  // absurd element count for any payload

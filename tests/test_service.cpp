@@ -421,6 +421,32 @@ TEST(CheckpointRestore, RefusesMismatchedConfigAndTruncatedArchives) {
   }
 }
 
+// The v2 crc32 footer turns silent bit rot into a refused restore: flipping
+// any single bit -- payload, header, or the footer itself -- must soft-fail
+// and leave the victim untouched.
+TEST(CheckpointRestore, SingleBitFlipAnywhereIsRefused) {
+  const sim::SystemConfig cfg = hotspot_config(9);
+  sim::Simulator donor(cfg);
+  for (int f = 0; f < 12; ++f) donor.step_frame();
+  const std::vector<std::uint8_t> archive = donor.snapshot();
+
+  sim::Simulator victim(cfg);
+  const std::vector<std::uint8_t> before = victim.snapshot();
+  std::vector<std::uint8_t> damaged = archive;
+  for (std::size_t i = 0; i < archive.size(); i += 97) {
+    damaged[i] ^= 0x10;
+    ASSERT_FALSE(victim.restore(damaged)) << "flip at byte " << i;
+    ASSERT_TRUE(victim.snapshot() == before)
+        << "refused restore mutated state (flip at byte " << i << ")";
+    damaged[i] = archive[i];
+  }
+  // Also the very last byte (inside the crc footer itself).
+  damaged.back() ^= 0x01;
+  EXPECT_FALSE(victim.restore(damaged));
+  damaged.back() = archive.back();
+  ASSERT_TRUE(victim.restore(damaged));
+}
+
 // Transactional restore: an archive truncated at ANY 64-byte boundary must
 // soft-fail and leave the victim exactly as it was -- never crash, never
 // partially apply.  Pinned by comparing the victim's own snapshot bytes
@@ -569,6 +595,74 @@ TEST(AdmissionServiceProtocol, NackedEventsLeaveTheRunBitIdentical) {
     ASSERT_TRUE(clean.submit(Event::tick()).ok());
     ASSERT_TRUE(noisy.submit(Event::tick()).ok());
   }
+  expect_metrics_identical(clean.simulator().metrics(),
+                           noisy.simulator().metrics());
+}
+
+TEST(AdmissionServiceOverload, ShedsRequestsBeyondTheInjectionQueueCap) {
+  sim::SystemConfig cfg = hotspot_config(7);
+  cfg.service.injection_queue_cap = 2;
+  const int d0 = cfg.voice.users;
+
+  AdmissionService service(cfg);
+  ASSERT_TRUE(service.submit(Event::tick()).ok());
+  const std::int64_t now = service.frame();
+
+  // Two requests fill the queue; the third is shed with the overload nack.
+  EXPECT_EQ(service.submit(Event::burst_request(now, d0, 9000.0)).code,
+            ResultCode::kAck);
+  EXPECT_EQ(service.submit(Event::burst_request(now, d0 + 1, 9000.0)).code,
+            ResultCode::kAck);
+  EXPECT_EQ(service.submit(Event::burst_request(now, d0 + 2, 9000.0)).code,
+            ResultCode::kNackOverload);
+  EXPECT_EQ(service.counters().sheds, 1);
+  EXPECT_EQ(service.simulator().metrics().overload_sheds, 1);
+
+  // A release frees a slot, so the shed user's retry is admitted: shedding
+  // is load-dependent back-pressure, not a ban.
+  EXPECT_EQ(service.submit(Event::release(now, d0)).code, ResultCode::kAck);
+  EXPECT_EQ(service.submit(Event::burst_request(now, d0 + 2, 9000.0)).code,
+            ResultCode::kAck);
+  EXPECT_EQ(service.counters().sheds, 1);
+
+  // Shed responses are nacks in the protocol counters too.
+  EXPECT_EQ(service.counters().nacks, 1);
+}
+
+TEST(AdmissionServiceOverload, ShedEventsLeaveTheRunBitIdentical) {
+  sim::SystemConfig cfg = hotspot_config(22);
+  cfg.service.injection_queue_cap = 1;
+  const int d1 = cfg.voice.users;
+  const int d2 = d1 + 1;
+  const std::int64_t frames = 100;
+
+  AdmissionService clean(cfg);
+  AdmissionService noisy(cfg);
+  int sheds_seen = 0;
+  for (std::int64_t f = 0; f < frames; ++f) {
+    if (f == 5 || f == 20 || f == 40) {
+      // Both services carry the same accepted load from d1; only noisy sees
+      // d2's surplus.  Right after a fresh ack the queue provably holds
+      // d1's injection, so d2's request must shed -- and a shed, like every
+      // nack, touches no simulator state.
+      const ResultCode c0 = clean.submit(Event::burst_request(f, d1, 9e3)).code;
+      const ResultCode c1 = noisy.submit(Event::burst_request(f, d1, 9e3)).code;
+      ASSERT_EQ(c0, c1);
+      if (c0 == ResultCode::kAck) {
+        EXPECT_EQ(noisy.submit(Event::burst_request(f, d2, 9e3)).code,
+                  ResultCode::kNackOverload);
+        ++sheds_seen;
+      }
+    }
+    ASSERT_TRUE(clean.submit(Event::tick()).ok());
+    ASSERT_TRUE(noisy.submit(Event::tick()).ok());
+  }
+  EXPECT_GE(sheds_seen, 1);
+  EXPECT_EQ(noisy.counters().sheds, sheds_seen);
+  EXPECT_EQ(noisy.simulator().metrics().overload_sheds, sheds_seen);
+  EXPECT_EQ(clean.counters().sheds, 0);
+  // expect_metrics_identical covers the shared metrics; the shed counter is
+  // the one field that legitimately differs between the two runs.
   expect_metrics_identical(clean.simulator().metrics(),
                            noisy.simulator().metrics());
 }

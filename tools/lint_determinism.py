@@ -49,8 +49,11 @@ class Rule(NamedTuple):
     # means every scanned file.
     path_filter: Optional["re.Pattern[str]"]
     # Repo-relative paths where the rule is allowlisted wholesale (bench-style
-    # files whose whole purpose is wall-clock measurement).  Inline
-    # lint-allow comments are the per-line mechanism; this is the per-file one.
+    # files whose whole purpose is wall-clock measurement).  An entry ending
+    # in "/" allowlists the whole directory subtree (e.g. "src/runner/" for
+    # the process supervisor, whose timeouts are wall-clock by design).
+    # Inline lint-allow comments are the per-line mechanism; this is the
+    # per-file one.
     allow_paths: Tuple[str, ...]
     # Match against string-literal contents instead of code (printf format
     # strings live inside literals, which the code view blanks).
@@ -80,7 +83,7 @@ RULES: List[Rule] = [
         "wall-clock / ambient-entropy source in simulation code; all "
         "randomness must come from seeded common::Rng streams and all time "
         "from the frame clock",
-        allow_paths=("tools/perf_smoke.cpp",),
+        allow_paths=("tools/perf_smoke.cpp", "src/runner/"),
     ),
     _rule(
         "DET-SHUFFLE",
@@ -288,7 +291,8 @@ def lint_file(path: str, rel: str) -> List[Finding]:
     for rule in RULES:
         if rule.path_filter and not rule.path_filter.search(rel):
             continue
-        if rel in rule.allow_paths:
+        if any(rel == p or (p.endswith("/") and rel.startswith(p))
+               for p in rule.allow_paths):
             continue
         if rule.rule_id == "PORT-PRAGMA-ONCE":
             # Whole-file rule: match against the stripped source so a

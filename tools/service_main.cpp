@@ -115,6 +115,7 @@ std::string metrics_json(const sim::SimMetrics& m) {
   out += ",\"bs_power_saturations\":" + std::to_string(m.bs_power_saturations);
   out += ",\"mobile_power_saturations\":" +
          std::to_string(m.mobile_power_saturations);
+  out += ",\"overload_sheds\":" + std::to_string(m.overload_sheds);
   out += "}}\n";
   return out;
 }

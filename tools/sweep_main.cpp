@@ -2,15 +2,29 @@
 // (scenario x replication) work items in parallel, and emits the merged
 // metrics as CSV (default), JSON, or an aligned table.  Output is
 // bit-identical for any --threads value, so sweeps are safely parallel.
+//
+// --workers N switches from the in-process thread pool to the
+// fault-tolerant multi-process supervisor (src/runner/): N forked+exec'd
+// copies of this binary each run one shard of the grid, checkpoint their
+// progress, and are retried (resuming from the checkpoint) on crashes and
+// timeouts.  The merged output stays byte-identical to the in-process run
+// for any worker count.  --fault injects one deliberate worker failure for
+// testing the recovery paths end to end.
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/admission/policy.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/runner/supervisor.hpp"
+#include "src/runner/worker.hpp"
 #include "src/sim/channel_state.hpp"
 #include "src/sweep/presets.hpp"
 #include "src/sweep/sweep.hpp"
@@ -40,7 +54,26 @@ void print_usage() {
       "  --warmup S            override per-scenario warmup (seconds)\n"
       "  --format csv|json|table   output format (default: csv)\n"
       "  --output FILE         write results to FILE instead of stdout\n"
-      "  --progress            report per-item progress on stderr\n");
+      "  --progress            report per-item progress on stderr\n"
+      "  --workers N           run N supervised worker processes instead of\n"
+      "                        in-process threads; output is byte-identical\n"
+      "                        either way.  Crashed/stalled workers are\n"
+      "                        retried, resuming from their checkpoints\n"
+      "  --runner-dir DIR      shard work files for --workers (default: a\n"
+      "                        fresh temp dir, removed on success)\n"
+      "  --timeout S           per-worker-attempt wall-clock budget (0 = none)\n"
+      "  --max-retries N       retries per shard beyond the first attempt\n"
+      "                        (default: 2)\n"
+      "  --backoff S           base retry delay; doubles per retry, no jitter\n"
+      "                        (default: 0.05)\n"
+      "  --checkpoint-every N  frames between worker checkpoints (default:\n"
+      "                        256; 0 disables checkpointing)\n"
+      "  --fault SPEC          inject one worker fault (testing), e.g.\n"
+      "                        kill:shard=1,frame=50  stall:shard=0,frame=10\n"
+      "                        corrupt-checkpoint:shard=0,mode=bitflip\n"
+      "                        drop-result:shard=2\n"
+      "  --strict-checkpoint   corrupt checkpoint = hard error instead of\n"
+      "                        discard-and-restart\n");
 }
 
 bool parse_size(const char* text, std::size_t* out) {
@@ -63,6 +96,18 @@ bool parse_positive_double(const char* text, double* out) {
   return true;
 }
 
+/// Path of the running binary, for the supervisor's worker exec lines;
+/// argv[0] is the fallback when /proc is unavailable.
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,6 +123,31 @@ int main(int argc, char** argv) {
   std::size_t sim_threads = 0;
   std::size_t replications = 0, seed = 0;
   double duration_s = 0.0, warmup_s = 0.0;
+
+  // Multi-process supervision (--workers) and its knobs.
+  std::size_t workers = 0;  // 0 = in-process thread pool
+  std::string runner_dir;
+  double timeout_s = 0.0;
+  std::size_t max_retries = 2;
+  double backoff_s = 0.05;
+  std::size_t checkpoint_every = 256;
+  std::string fault_spec;
+  bool strict_checkpoint = false;
+
+  // Hidden worker-mode flags, appended by the supervisor when it execs
+  // this binary as a shard worker.
+  bool is_worker = false;
+  std::size_t worker_shard = 0, worker_count = 1, worker_attempt = 0;
+  std::string worker_out, worker_checkpoint;
+  bool worker_resume = false;
+
+  // Config-shaping flags replayed verbatim on worker exec lines so every
+  // worker rebuilds the exact spec the supervisor validated.
+  std::vector<std::string> shape_args;
+  auto shape = [&](const char* flag, const char* value) {
+    shape_args.push_back(flag);
+    shape_args.push_back(value);
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -113,43 +183,54 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--preset") {
       preset = next_value();
+      shape("--preset", preset.c_str());
     } else if (arg == "--policy") {
       policy = next_value();
+      shape("--policy", policy.c_str());
     } else if (arg == "--csi-provider") {
       csi_provider = next_value();
+      shape("--csi-provider", csi_provider.c_str());
     } else if (arg == "--format") {
       format = next_value();
     } else if (arg == "--output") {
       output_path = next_value();
     } else if (arg == "--replications") {
-      have_replications = parse_size(next_value(), &replications);
+      const char* text = next_value();
+      have_replications = parse_size(text, &replications);
       if (!have_replications || replications == 0) {
         std::fprintf(stderr, "sweep_main: bad --replications value\n");
         return 2;
       }
+      shape("--replications", text);
     } else if (arg == "--threads") {
       if (!parse_size(next_value(), &threads)) {
         std::fprintf(stderr, "sweep_main: bad --threads value\n");
         return 2;
       }
     } else if (arg == "--sim-threads") {
-      have_sim_threads = parse_size(next_value(), &sim_threads);
+      const char* text = next_value();
+      have_sim_threads = parse_size(text, &sim_threads);
       if (!have_sim_threads) {
         std::fprintf(stderr, "sweep_main: bad --sim-threads value\n");
         return 2;
       }
+      shape("--sim-threads", text);
     } else if (arg == "--seed") {
-      have_seed = parse_size(next_value(), &seed);
+      const char* text = next_value();
+      have_seed = parse_size(text, &seed);
       if (!have_seed) {
         std::fprintf(stderr, "sweep_main: bad --seed value\n");
         return 2;
       }
+      shape("--seed", text);
     } else if (arg == "--duration") {
-      have_duration = parse_positive_double(next_value(), &duration_s);
+      const char* text = next_value();
+      have_duration = parse_positive_double(text, &duration_s);
       if (!have_duration) {
         std::fprintf(stderr, "sweep_main: bad --duration value\n");
         return 2;
       }
+      shape("--duration", text);
     } else if (arg == "--warmup") {
       const char* text = next_value();
       char* end = nullptr;
@@ -159,8 +240,62 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "sweep_main: bad --warmup value\n");
         return 2;
       }
+      shape("--warmup", text);
     } else if (arg == "--progress") {
       want_progress = true;
+    } else if (arg == "--workers") {
+      if (!parse_size(next_value(), &workers) || workers == 0) {
+        std::fprintf(stderr, "sweep_main: bad --workers value (need >= 1)\n");
+        return 2;
+      }
+    } else if (arg == "--runner-dir") {
+      runner_dir = next_value();
+    } else if (arg == "--timeout") {
+      if (!parse_positive_double(next_value(), &timeout_s)) {
+        std::fprintf(stderr, "sweep_main: bad --timeout value\n");
+        return 2;
+      }
+    } else if (arg == "--max-retries") {
+      if (!parse_size(next_value(), &max_retries)) {
+        std::fprintf(stderr, "sweep_main: bad --max-retries value\n");
+        return 2;
+      }
+    } else if (arg == "--backoff") {
+      if (!parse_positive_double(next_value(), &backoff_s)) {
+        std::fprintf(stderr, "sweep_main: bad --backoff value\n");
+        return 2;
+      }
+    } else if (arg == "--checkpoint-every") {
+      if (!parse_size(next_value(), &checkpoint_every)) {
+        std::fprintf(stderr, "sweep_main: bad --checkpoint-every value\n");
+        return 2;
+      }
+    } else if (arg == "--fault") {
+      fault_spec = next_value();
+    } else if (arg == "--strict-checkpoint") {
+      strict_checkpoint = true;
+    } else if (arg == "--worker-shard") {
+      is_worker = true;
+      if (!parse_size(next_value(), &worker_shard)) {
+        std::fprintf(stderr, "sweep_main: bad --worker-shard value\n");
+        return 2;
+      }
+    } else if (arg == "--worker-count") {
+      if (!parse_size(next_value(), &worker_count) || worker_count == 0) {
+        std::fprintf(stderr, "sweep_main: bad --worker-count value\n");
+        return 2;
+      }
+    } else if (arg == "--worker-out") {
+      worker_out = next_value();
+    } else if (arg == "--worker-checkpoint") {
+      worker_checkpoint = next_value();
+    } else if (arg == "--worker-attempt") {
+      if (!parse_size(next_value(), &worker_attempt)) {
+        std::fprintf(stderr, "sweep_main: bad --worker-attempt value\n");
+        return 2;
+      }
+    } else if (arg == "--worker-resume") {
+      worker_resume = true;
     } else {
       std::fprintf(stderr, "sweep_main: unknown option %s\n", arg.c_str());
       print_usage();
@@ -233,6 +368,78 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  runner::FaultPlan fault;
+  if (!fault_spec.empty()) {
+    std::string why;
+    if (!runner::FaultPlan::parse(fault_spec, &fault, &why)) {
+      std::fprintf(stderr, "sweep_main: bad --fault spec: %s\n", why.c_str());
+      return 2;
+    }
+  }
+
+  if (is_worker) {
+    // Exec'd by the supervisor: run one shard and exit with a worker code.
+    if (worker_out.empty() || worker_checkpoint.empty()) {
+      std::fprintf(stderr,
+                   "sweep_main: worker mode needs --worker-out and "
+                   "--worker-checkpoint\n");
+      return 2;
+    }
+    runner::WorkerJob job;
+    job.spec = spec;
+    job.shard = worker_shard;
+    job.workers = worker_count;
+    job.result_path = worker_out;
+    job.checkpoint_path = worker_checkpoint;
+    job.checkpoint_every_frames = static_cast<std::int64_t>(checkpoint_every);
+    job.resume = worker_resume;
+    job.fault = fault;
+    job.attempt = static_cast<int>(worker_attempt);
+    return runner::run_worker(job);
+  }
+
+  sweep::SweepResult supervised_result;
+  if (workers > 0) {
+    runner::SupervisorOptions options;
+    options.workers = workers;
+    options.timeout_s = timeout_s;
+    options.max_retries = static_cast<int>(max_retries);
+    options.backoff_base_s = backoff_s;
+    options.checkpoint_every_frames = static_cast<std::int64_t>(checkpoint_every);
+    options.fault = fault;
+    options.strict_checkpoint = strict_checkpoint;
+
+    bool made_temp_dir = false;
+    if (runner_dir.empty()) {
+      char tmpl[] = "/tmp/wcdma-runner-XXXXXX";
+      if (!mkdtemp(tmpl)) {
+        std::fprintf(stderr, "sweep_main: cannot create a runner temp dir\n");
+        return 1;
+      }
+      runner_dir = tmpl;
+      made_temp_dir = true;
+    } else if (mkdir(runner_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "sweep_main: cannot create runner dir %s\n",
+                   runner_dir.c_str());
+      return 1;
+    }
+    options.work_dir = runner_dir;
+
+    std::vector<std::string> worker_argv;
+    worker_argv.push_back(self_exe_path(argv[0]));
+    worker_argv.insert(worker_argv.end(), shape_args.begin(), shape_args.end());
+
+    const runner::SupervisorResult sup =
+        runner::run_supervised_sweep(spec, options, worker_argv);
+    if (!sup.ok) {
+      std::fprintf(stderr, "sweep_main: %s\n", sup.error.c_str());
+      // The work dir is kept for post-mortem when the run fails.
+      return 1;
+    }
+    if (made_temp_dir) rmdir(runner_dir.c_str());
+    supervised_result = sup.result;
+  }
+
   sweep::ProgressFn progress;
   if (want_progress) {
     progress = [](std::size_t done, std::size_t total) {
@@ -241,7 +448,9 @@ int main(int argc, char** argv) {
     };
   }
 
-  const sweep::SweepResult result = sweep::run_sweep(spec, threads, progress);
+  const sweep::SweepResult result =
+      workers > 0 ? supervised_result
+                  : sweep::run_sweep(spec, threads, progress);
 
   std::string text;
   if (format == "csv") {

@@ -101,6 +101,23 @@ class Wallclock(LintFixtureCase):
             "auto t0 = std::chrono::steady_clock::now();\n",
             rule_id="DET-WALLCLOCK")
 
+    def test_allowlisted_directory_prefix(self):
+        # src/runner/ is directory-allowlisted (a trailing-"/" entry): the
+        # supervisor's timeouts and backoff are wall-clock by design.
+        self.assert_clean(
+            "src/runner/supervisor.cpp",
+            "auto now = std::chrono::steady_clock::now();\n",
+            rule_id="DET-WALLCLOCK")
+        # The prefix is a directory boundary, not a substring: a sibling
+        # file whose name merely starts with "runner" still fires...
+        self.assert_fires(
+            "DET-WALLCLOCK", "src/runner_utils.cpp",
+            "auto now = std::chrono::steady_clock::now();\n")
+        # ...and simulation code stays guarded.
+        self.assert_fires(
+            "DET-WALLCLOCK", "src/sim/a.cpp",
+            "auto now = std::chrono::steady_clock::now();\n")
+
 
 class Shuffle(LintFixtureCase):
     def test_positive(self):

@@ -50,11 +50,19 @@ inline std::uint64_t double_to_bits(double x) {
 
 }  // namespace detail
 
-/// 2^x for x in [-1020, 1020]; inputs outside are clamped (the fused
-/// dB->linear evaluations this serves live around [-80, 10]).
+/// 2^x for x in [-1022, 1022]; finite inputs outside (and +/-inf) are
+/// clamped, NaN propagates (the fused dB->linear evaluations this serves
+/// live around [-80, 10]).  The clamp keeps the stuffed exponent field
+/// n + 1023 inside [1, 2045]: never 0 (which would need a subnormal encode)
+/// and never 2047 (inf/NaN), and because n = floor(x + 0.5) rounds f into
+/// [0, 0.5] at the rails, the result itself stays normal -- no gradual-
+/// underflow double rounding in the final multiply.  Pre-clamp NaN used to
+/// reach the floor()->int64 cast (undefined behaviour); now it returns
+/// unchanged, matching libm exp2.
 inline double fast_exp2(double x) {
-  if (x < -1020.0) x = -1020.0;
-  if (x > 1020.0) x = 1020.0;
+  if (std::isnan(x)) return x;
+  if (x < -1022.0) x = -1022.0;
+  if (x > 1022.0) x = 1022.0;
   const double n = std::floor(x + 0.5);
   // f in [-0.5, 0.5]; 2^f = e^(f ln 2), degree-7 Taylor in z = f ln 2
   // (|z| <= 0.347 -> truncation error < 6e-9 relative).
@@ -72,12 +80,25 @@ inline double fast_exp2(double x) {
   return p * detail::bits_to_double(exponent_bits);
 }
 
-/// log2(x) for finite normal x > 0 (distances and powers on the hot path are
-/// clamped well away from zero; subnormals are out of contract).
+/// log2(x) for finite x > 0, subnormals included.  A subnormal encodes no
+/// implicit leading mantissa bit, so the plain exponent-field extraction
+/// would mis-decode it (exponent field 0 != exponent -1023 and the mantissa
+/// is a pure fraction); those inputs are first renormalized by 2^54 -- exact,
+/// since it only shifts bits into the 53-bit significand -- and the exponent
+/// corrected by -54.  Distances and powers on the hot path stay far from the
+/// subnormal range, but the SIMD kernels certify against this function on
+/// the FULL positive-finite domain, so the scalar reference must be right
+/// everywhere.
 inline double fast_log2(double x) {
   WCDMA_DEBUG_ASSERT(x > 0.0 && std::isfinite(x));
-  const std::uint64_t bits = detail::double_to_bits(x);
-  std::int64_t e = static_cast<std::int64_t>((bits >> 52) & 0x7ff) - 1023;
+  std::uint64_t bits = detail::double_to_bits(x);
+  std::int64_t e_extra = 0;
+  if ((bits & 0x7ff0000000000000ULL) == 0) {  // subnormal: renormalize
+    bits = detail::double_to_bits(x * 0x1p54);
+    e_extra = 54;
+  }
+  std::int64_t e =
+      static_cast<std::int64_t>((bits >> 52) & 0x7ff) - 1023 - e_extra;
   double m = detail::bits_to_double((bits & 0x000fffffffffffffULL) |
                                     (std::uint64_t{1023} << 52));  // [1, 2)
   if (m > 1.4142135623730951) {  // re-centre on 1: m in [sqrt(1/2), sqrt(2))

@@ -43,14 +43,29 @@ class ZigguratNormal {
   }
 
   /// Batched draws: fills out[0..n) from one stream (the SoA-lane batch API
-  /// the fast provider and the property tests share).
-  void fill(Rng& rng, double* out, std::size_t n) const {
-    for (std::size_t i = 0; i < n; ++i) out[i] = draw(rng);
-  }
+  /// the fast provider and the property tests share) and returns the number
+  /// of raw 64-bit RNG words consumed (next_u64 and uniform each cost one).
+  ///
+  /// STREAM CONTRACT (pinned by the draw-count property test in
+  /// tests/test_statcheck.cpp): fill() produces exactly the sample sequence
+  /// of n successive draw() calls, consuming exactly the same words --
+  ///   * n == 0 consumes nothing and leaves `rng` untouched;
+  ///   * an accepted fast-path sample costs exactly 1 word;
+  ///   * a wedge test costs 1 extra word, accept or reject; each rejection
+  ///     restarts the sample with a fresh 1-word fast-path attempt;
+  ///   * a tail excursion (layer 0) costs 2 words per acceptance-loop
+  ///     iteration on top of the triggering word.
+  /// The SIMD block path (dispatched on common::active_simd_level())
+  /// vectorizes the ~99% accept path and rolls back to a scalar replay on
+  /// the first rejected lane, so scalar and SIMD fills are element-wise
+  /// identical AND stream-position identical -- certified, not assumed, by
+  /// tests/test_kernels.cpp.
+  std::size_t fill(Rng& rng, double* out, std::size_t n) const;
 
  private:
   struct Tables {
     std::uint64_t k[256];
+    double kd[256];  // k as doubles (exact: k < 2^53) for packed compares
     double w[256];
     double f[256];
   };
@@ -59,6 +74,13 @@ class ZigguratNormal {
   /// Tail (layer 0) and wedge acceptance; returns the positive sample or
   /// NaN when the wedge rejects (caller redraws).
   double draw_slow(Rng& rng, std::size_t layer, double x) const;
+  /// draw()/draw_slow() twins that also count consumed RNG words.
+  double draw_counted(Rng& rng, std::size_t* words) const;
+  double draw_slow_counted(Rng& rng, std::size_t layer, double x,
+                           std::size_t* words) const;
+  std::size_t fill_scalar(Rng& rng, double* out, std::size_t n) const;
+  std::size_t fill_block_sse2(Rng& rng, double* out, std::size_t n) const;
+  std::size_t fill_block_avx2(Rng& rng, double* out, std::size_t n) const;
 
   const Tables* tables_;
 };

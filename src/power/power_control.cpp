@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/common/fastmath.hpp"
 #include "src/common/serialize.hpp"
 
 namespace wcdma::power {
@@ -41,11 +40,10 @@ double ClosedLoopPowerControl::update(double measured_sir_db) {
   return power_dbm_;
 }
 
-double ClosedLoopPowerControl::update_fast(double measured_sir_db) {
+double ClosedLoopPowerControl::update_db(double measured_sir_db) {
   power_dbm_ = stepped_power_dbm(config_, power_dbm_, target_sir_db_, measured_sir_db);
-  power_watt_ = common::fast_db_to_linear(power_dbm_ - 30.0);  // dBm -> W
   saturated_ = power_dbm_ >= config_.max_power_dbm - 1e-12;
-  return power_dbm_;
+  return power_dbm_;  // wattage stale until set_power_watt() commits it
 }
 
 double ClosedLoopPowerControl::to_watt(double dbm) {

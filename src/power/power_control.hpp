@@ -36,12 +36,17 @@ class ClosedLoopPowerControl {
   /// measured SIR (dB).  Returns the new transmit power (dBm).
   double update(double measured_sir_db);
 
-  /// update() with the dBm -> W refresh evaluated through the relaxed-
-  /// precision fast_exp2 kernel instead of libm pow.  Same clamping and
-  /// saturation logic; only the cached wattage differs (relative error
-  /// < 1e-8).  Reserved for the `fast` CSI provider's frame loop -- the
-  /// default path must keep update() for bit-identity.
-  double update_fast(double measured_sir_db);
+  /// The fast provider's split update: applies the stepped dBm correction
+  /// and the saturation flag, but leaves the cached wattage STALE.  The
+  /// caller batches every user's (power_dbm - 30) into a lane, converts it
+  /// through the SIMD-dispatched kernels::db_to_linear_lane (the relaxed
+  /// fast_exp2 twin of to_watt; relative error < 1e-8), and commits with
+  /// set_power_watt() -- see Simulator::step_power_control.  Nothing may
+  /// read power_watt() between the two calls.  The default path must keep
+  /// update() for bit-identity.
+  double update_db(double measured_sir_db);
+  /// Commits the batch-converted wattage after update_db().
+  void set_power_watt(double watt) { power_watt_ = watt; }
 
   double power_dbm() const { return power_dbm_; }
   /// Cached dBm -> W conversion; refreshed whenever power_dbm_ moves, so the

@@ -6,6 +6,7 @@
 #include "src/common/fastmath.hpp"
 #include "src/common/serialize.hpp"
 #include "src/sim/channel_state.hpp"
+#include "src/sim/kernels.hpp"
 
 namespace wcdma::sim {
 
@@ -103,6 +104,7 @@ void FrameState::set_fast_math(bool on) {
   const channel::PathLoss::AffineLog10 loss = path_loss_->affine_log10();
   fast_gain_bias_ = -kExp2PerDb * loss.a_db;
   fast_log2_slope_ = loss.b_db / 10.0;  // kExp2PerDb * B * log10(2) == B / 10
+  fast_half_log2_slope_ = fast_log2_slope_ * 0.5;
   const double min_d = path_loss_->config().min_distance_m;
   fast_min_distance_sq_m_ = min_d * min_d;
   fast_inv_decorr_m_ = 1.0 / shadowing_.decorrelation_m;
@@ -141,26 +143,31 @@ void FrameState::step_user_links_fast(std::size_t user, cell::Point pos,
   const std::size_t row = user * num_cells_;
   common::Rng& batch_rng = fast_shadow_rng_[user];
   constexpr std::size_t kLane = 32;
-  double z[kLane];
+  double z[kLane], d_sq[kLane], shadow[kLane], gain[kLane];
   for (std::size_t base = 0; base < count; base += kLane) {
     const std::size_t n = std::min(kLane, count - base);
-    // Two passes over each lane block: the whole innovation batch first
-    // (one register-resident stream per user), then the pure-arithmetic
-    // gain updates.
+    // Three passes over each lane block: the whole innovation batch first
+    // (one register-resident stream per user), then a scalar gather of the
+    // squared distances and current shadowing (the geometry scan and the
+    // CSR indirection don't vectorize), then the SIMD-dispatched fused
+    // gain kernel with a contiguous scatter back.
     zig_.fill(batch_rng, z, n);
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t k = cells[base + i];
       const std::size_t idx = row + k;
       // Distances feed the gain only through B log10(d) = (B/2) log10(d^2),
-      // so the squared distance goes straight into fast_log2 -- no
+      // so the squared distance goes straight into the log2 lane -- no
       // hypot/sqrt per link.
-      const double d_sq =
+      d_sq[i] =
           std::max(layout_->distance_sq_to_cell(pos, k), fast_min_distance_sq_m_);
-      const double shadow_db = rho * shadow_db_[idx] + innovation * z[i];
-      shadow_db_[idx] = shadow_db;
-      gain_mean_[idx] =
-          common::fast_exp2(kExp2PerDb * shadow_db + fast_gain_bias_ -
-                            fast_log2_slope_ * 0.5 * common::fast_log2(d_sq));
+      shadow[i] = shadow_db_[idx];
+    }
+    kernels::shadow_gain_lane(rho, innovation, fast_gain_bias_,
+                              fast_half_log2_slope_, z, d_sq, shadow, gain, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = row + cells[base + i];
+      shadow_db_[idx] = shadow[i];
+      gain_mean_[idx] = gain[i];
     }
   }
 }

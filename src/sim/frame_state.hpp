@@ -207,6 +207,9 @@ class FrameState {
   bool fast_math_ = false;
   double fast_gain_bias_ = 0.0;      // -K * A
   double fast_log2_slope_ = 0.0;     // B / 10
+  /// (B / 10) * 0.5, folded once for the d^2 form of the loss term (exact:
+  /// a power-of-two scale), matching kernels::shadow_gain_lane's signature.
+  double fast_half_log2_slope_ = 0.0;
   double fast_min_distance_sq_m_ = 0.0;  // near-field clamp, squared metres
   double fast_inv_decorr_m_ = 0.0;   // 1 / shadowing decorrelation distance
   common::ZigguratNormal zig_;

@@ -6,9 +6,9 @@
 #include <string>
 
 #include "src/common/assert.hpp"
-#include "src/common/fastmath.hpp"
 #include "src/common/serialize.hpp"
 #include "src/common/units.hpp"
+#include "src/sim/kernels.hpp"
 
 namespace wcdma::sim {
 
@@ -411,11 +411,13 @@ void Simulator::step_reverse_measurements() {
 }
 
 void Simulator::step_power_control() {
-  // The relaxed-precision provider extends to this per-user loop: the SIR
-  // dB conversions and the power-control wattage refresh go through the
-  // fastmath kernels when (and only when) the `fast` CSI provider armed the
-  // FrameState -- the default path keeps libm bit-identity.
-  const bool fast = fast_math_;
+  // The relaxed-precision provider swaps this whole loop for a lane-
+  // structured twin whose dB conversions run through the SIMD-dispatched
+  // kernels; the default path below keeps libm bit-identity.
+  if (fast_math_) {
+    step_power_control_fast();
+    return;
+  }
   for (std::size_t i = 0; i < users_.size(); ++i) {
     User& u = users_[i];
     u.fch_on = u.is_data
@@ -443,11 +445,7 @@ void Simulator::step_power_control() {
           std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
           u.active_set.reverse_adjustment();
       u.fch_sir_linear = std::max(sir, kTiny);
-      if (fast) {
-        u.rl_pc.update_fast(common::fast_linear_to_db(u.fch_sir_linear));
-      } else {
-        u.rl_pc.update(common::linear_to_db(u.fch_sir_linear));
-      }
+      u.rl_pc.update(common::linear_to_db(u.fch_sir_linear));
       if (u.rl_pc.saturated() && !in_warmup()) ++metrics_.mobile_power_saturations;
     } else {
       // Forward FCH power control (voice users and forward data users).
@@ -455,13 +453,8 @@ void Simulator::step_power_control() {
       const double sir = u.fl_pc.power_watt() * state_.gain_mean(i, prim) * fch_pg_ /
                          std::max(u.fwd_interference_eff_w, kTiny);
       u.fch_sir_linear = std::max(sir, kTiny);
-      const double sir_db = fast ? common::fast_linear_to_db(u.fch_sir_linear)
-                                 : common::linear_to_db(u.fch_sir_linear);
-      if (fast) {
-        u.fl_pc.update_fast(sir_db);
-      } else {
-        u.fl_pc.update(sir_db);
-      }
+      const double sir_db = common::linear_to_db(u.fch_sir_linear);
+      u.fl_pc.update(sir_db);
       if (u.fl_pc.saturated() && !in_warmup()) ++metrics_.bs_power_saturations;
       if (!u.is_data && !in_warmup()) {
         metrics_.voice_sir_error_db.add(sir_db - config_.radio.fch_ebio_target_db);
@@ -477,11 +470,104 @@ void Simulator::step_power_control() {
           fch_tx * state_.gain_mean(i, prim) * fch_pg_ /
           std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
           u.active_set.reverse_adjustment();
-      if (fast) {
-        u.rl_pc.update_fast(common::fast_linear_to_db(std::max(sir, kTiny)));
-      } else {
-        u.rl_pc.update(common::linear_to_db(std::max(sir, kTiny)));
-      }
+      u.rl_pc.update(common::linear_to_db(std::max(sir, kTiny)));
+    }
+  }
+}
+
+void Simulator::step_power_control_fast() {
+  // Pass A -- scalar SIR measurement.  Same branch structure and arithmetic
+  // as the default loop; every measured SIR lands in a contiguous lane
+  // instead of converting to dB inline.  All reads are last frame's powers
+  // (received_w, fwd_interference_eff_w, power_watt caches), so deferring
+  // the loop updates to pass C changes nothing.
+  pc_entries_.clear();
+  pc_sir_linear_.clear();
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    User& u = users_[i];
+    u.fch_on = u.is_data
+                   ? (u.has_pending || u.burst.active ||
+                      u.mac.state() == mac::MacState::kActive ||
+                      u.mac.state() == mac::MacState::kControlHold)
+                   : u.voice_active;
+    if (!u.fch_on) {
+      u.fch_sir_linear = 0.0;
+      continue;
+    }
+    if (u.is_data && !u.forward_dir) {
+      const std::size_t prim = u.active_set.primary();
+      const double fch_tx =
+          u.rl_pc.power_watt() * config_.admission.zeta_fch_pilot_ratio;
+      const double sir =
+          fch_tx * state_.gain_mean(i, prim) * fch_pg_ /
+          std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
+          u.active_set.reverse_adjustment();
+      u.fch_sir_linear = std::max(sir, kTiny);
+      pc_entries_.push_back({static_cast<std::uint32_t>(i), PcKind::kRlData});
+      pc_sir_linear_.push_back(u.fch_sir_linear);
+    } else {
+      const std::size_t prim = u.active_set.primary();
+      const double sir = u.fl_pc.power_watt() * state_.gain_mean(i, prim) * fch_pg_ /
+                         std::max(u.fwd_interference_eff_w, kTiny);
+      u.fch_sir_linear = std::max(sir, kTiny);
+      pc_entries_.push_back({static_cast<std::uint32_t>(i), PcKind::kForward});
+      pc_sir_linear_.push_back(u.fch_sir_linear);
+    }
+    if (!u.is_data || u.forward_dir) {
+      const std::size_t prim = u.active_set.primary();
+      const double fch_tx =
+          u.rl_pc.power_watt() * config_.admission.zeta_fch_pilot_ratio;
+      const double sir =
+          fch_tx * state_.gain_mean(i, prim) * fch_pg_ /
+          std::max(stations_[station_index(prim, u.carrier)].received_w, kTiny) *
+          u.active_set.reverse_adjustment();
+      pc_entries_.push_back({static_cast<std::uint32_t>(i), PcKind::kRlPilot});
+      pc_sir_linear_.push_back(std::max(sir, kTiny));
+    }
+  }
+
+  // Pass B -- one SIMD batch for every linear -> dB conversion this frame.
+  const std::size_t n = pc_entries_.size();
+  pc_sir_db_.resize(n);
+  kernels::linear_to_db_lane(pc_sir_linear_.data(), pc_sir_db_.data(), n);
+
+  // Pass C -- scalar loop stepping + saturation/voice metrics, ascending
+  // user order (the entry order), queueing the dBm -> W refresh.
+  pc_dbm_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    User& u = users_[pc_entries_[j].user];
+    const double sir_db = pc_sir_db_[j];
+    switch (pc_entries_[j].kind) {
+      case PcKind::kRlData:
+        u.rl_pc.update_db(sir_db);
+        if (u.rl_pc.saturated() && !in_warmup()) ++metrics_.mobile_power_saturations;
+        pc_dbm_[j] = u.rl_pc.power_dbm() - 30.0;  // dBm -> dBW for the lane
+        break;
+      case PcKind::kForward:
+        u.fl_pc.update_db(sir_db);
+        if (u.fl_pc.saturated() && !in_warmup()) ++metrics_.bs_power_saturations;
+        if (!u.is_data && !in_warmup()) {
+          metrics_.voice_sir_error_db.add(sir_db - config_.radio.fch_ebio_target_db);
+        }
+        pc_dbm_[j] = u.fl_pc.power_dbm() - 30.0;
+        break;
+      case PcKind::kRlPilot:
+        u.rl_pc.update_db(sir_db);
+        pc_dbm_[j] = u.rl_pc.power_dbm() - 30.0;
+        break;
+    }
+  }
+
+  // Pass D -- one SIMD batch for every dB -> W refresh, then commit the
+  // cached wattages.  Nothing reads power_watt() between update_db and here.
+  pc_watt_.resize(n);
+  kernels::db_to_linear_lane(pc_dbm_.data(), pc_watt_.data(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    User& u = users_[pc_entries_[j].user];
+    if (pc_entries_[j].kind == PcKind::kForward) {
+      u.fl_pc.set_power_watt(pc_watt_[j]);
+    } else {
+      u.rl_pc.set_power_watt(pc_watt_[j]);
     }
   }
 }

@@ -277,6 +277,17 @@ class Simulator {
   void forward_measure_user(std::size_t shard, std::size_t user);
   void step_reverse_measurements();
   void step_power_control();
+  /// The fast provider's lane-structured twin of step_power_control: the
+  /// per-user SIR measurements are computed scalar (pass A), every dB
+  /// conversion runs through the SIMD-dispatched kernels as one batch
+  /// (passes B and D), and the scalar stepping/saturation/metric logic in
+  /// between (pass C) runs in the same ascending-user order as the default
+  /// loop.  No cross-user state flows through power control within a frame
+  /// (every SIR reads last frame's powers and this user's pre-update loop
+  /// state), so the split is element-wise identical to the fused loop it
+  /// replaced -- and byte-identical across dispatch levels by the kernel
+  /// contract.
+  void step_power_control_fast();
   void step_traffic();
   /// Snapshots this frame's measurements and the queued eligible requests
   /// into the read-only FrameContext handed to the admission policy, one
@@ -357,6 +368,16 @@ class Simulator {
   std::vector<std::pair<std::size_t, std::size_t>> round_ranges_;
   std::vector<std::size_t> round_scratch_;  // request indices of one round
   std::vector<int> grant_m_scratch_, grant_carrier_scratch_;
+  /// step_power_control_fast lane scratch: one entry per closed-loop update
+  /// this frame (a user contributes kRlData, or kForward plus kRlPilot).
+  enum class PcKind : std::uint8_t { kRlData, kForward, kRlPilot };
+  struct PcEntry {
+    std::uint32_t user;
+    PcKind kind;
+  };
+  std::vector<PcEntry> pc_entries_;
+  std::vector<double> pc_sir_linear_, pc_sir_db_;  // pass A -> B lanes
+  std::vector<double> pc_dbm_, pc_watt_;           // pass C -> D lanes
   double noise_w_ = 0.0;
   double l_max_w_ = 0.0;
   double mobile_max_w_ = 0.0;  // dbm_to_watt(mobile_max_power_dbm), hoisted

@@ -19,6 +19,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "src/channel/path_loss.hpp"
@@ -130,6 +131,53 @@ TEST(FastMath, DbConversionsRoundTrip) {
   }
 }
 
+TEST(FastMath, Log2DecodesSubnormalInputs) {
+  // Subnormals have a zero exponent field and an UNNORMALIZED mantissa; the
+  // plain bit-field decode read them as garbage near 2^-1023 * (0.xxx)
+  // (fast_log2(5e-324) returned ~-1024 + log2(mantissa-as-if-normal), off by
+  // up to ~51).  The fix renormalizes by an exact 2^54 scale first, so the
+  // documented 1e-9 absolute error now holds down to the smallest double.
+  for (const double x : {5e-324,                   // smallest subnormal
+                         1.5e-323, 1e-320, 1e-315, 1e-310,
+                         2.2250738585072009e-308,  // largest subnormal
+                         2.2250738585072014e-308,  // smallest normal
+                         4.45e-308}) {
+    EXPECT_NEAR(common::fast_log2(x), std::log2(x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(FastMath, Exp2BoundariesClampInsteadOfOverflowingTheExponentField) {
+  // The exponent-stuffing trick builds 2^n by writing n + 1023 into the
+  // exponent field; without the clamp, |x| > ~1022 wrapped the field and
+  // returned garbage (fast_exp2(1100) came out tiny instead of inf-ish).
+  // The fix clamps to [-1022, 1022], where the stuffed field stays in
+  // [1, 2045] and results stay normal.
+  const double inf = std::numeric_limits<double>::infinity();
+  // Just inside the rails: still within documented relative error.
+  for (const double x : {-1021.9, -1022.0, 1021.9, 1022.0}) {
+    const double exact = std::exp2(x);
+    EXPECT_NEAR(common::fast_exp2(x), exact, 1e-8 * exact) << "x=" << x;
+  }
+  // Beyond the rails: pinned to the rail values, bit for bit.
+  EXPECT_EQ(common::fast_exp2(-1022.5), common::fast_exp2(-1022.0));
+  EXPECT_EQ(common::fast_exp2(-5000.0), common::fast_exp2(-1022.0));
+  EXPECT_EQ(common::fast_exp2(-inf), common::fast_exp2(-1022.0));
+  EXPECT_EQ(common::fast_exp2(1023.0), common::fast_exp2(1022.0));
+  EXPECT_EQ(common::fast_exp2(5000.0), common::fast_exp2(1022.0));
+  EXPECT_EQ(common::fast_exp2(inf), common::fast_exp2(1022.0));
+  // Results at the rails are normal, finite, positive.
+  EXPECT_GT(common::fast_exp2(-1022.0), 0.0);
+  EXPECT_GE(common::fast_exp2(-1022.0), 2.2250738585072014e-308);
+  EXPECT_TRUE(std::isfinite(common::fast_exp2(1022.0)));
+}
+
+TEST(FastMath, Exp2PropagatesNanInsteadOfComparingItIntoTheClamp) {
+  // NaN must come out as NaN (the old min/max clamp order turned it into
+  // the rail value on some compilers because NaN comparisons are false).
+  EXPECT_TRUE(std::isnan(
+      common::fast_exp2(std::numeric_limits<double>::quiet_NaN())));
+}
+
 TEST(FastMath, PathLossAffineFoldMatchesEveryModel) {
   // The fast gain kernel consumes PathLoss::affine_log10(); it must agree
   // with loss_db() across models and distances, or the fused constants
@@ -218,6 +266,57 @@ TEST(ZigguratNormal, DeterministicPerSeedStream) {
     if (a != zig.draw(r3)) diverged = true;
   }
   EXPECT_TRUE(diverged);
+}
+
+TEST(ZigguratNormal, FillDrawCountContractHolds) {
+  // fill() documents an exact stream contract (ziggurat.hpp): the returned
+  // word count IS the number of raw 64-bit draws consumed, n == 0 touches
+  // nothing, and any split of n into sub-fills lands on the same samples
+  // and the same stream position.  The fast provider leans on this for CRN
+  // pairing (every user's innovation stream must consume identically no
+  // matter how the frame batches its lanes), so it is pinned here as a
+  // property, not assumed.
+  const common::ZigguratNormal zig;
+
+  // n == 0: zero words, stream untouched (was: one unconditional draw).
+  {
+    common::Rng rng(0xbeef), fresh(0xbeef);
+    EXPECT_EQ(zig.fill(rng, nullptr, 0), 0u);
+    EXPECT_EQ(rng.next_u64(), fresh.next_u64());
+  }
+
+  // The word count equals the true stream advance: burning `words` draws
+  // on a clone must land it on the same position, for any batch size.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                              std::size_t{64}, std::size_t{1000}}) {
+    common::Rng rng(0x900d + n), clone(0x900d + n);
+    std::vector<double> out(n);
+    const std::size_t words = zig.fill(rng, out.data(), n);
+    EXPECT_GE(words, n);  // at least one word per accepted sample
+    for (std::size_t i = 0; i < words; ++i) clone.next_u64();
+    EXPECT_EQ(rng.next_u64(), clone.next_u64()) << "n=" << n;
+  }
+
+  // Single-element fills are draw() in disguise: same samples, same stream.
+  {
+    common::Rng seq1(0x51e9), seq2(0x51e9);
+    for (int i = 0; i < 3000; ++i) {
+      double one;
+      zig.fill(seq1, &one, 1);
+      EXPECT_EQ(one, zig.draw(seq2)) << "sample " << i;
+    }
+    EXPECT_EQ(seq1.next_u64(), seq2.next_u64());
+  }
+
+  // Golden total: 100k samples from a fixed seed consume exactly this many
+  // words (~2.1% above n: wedge tests + tail excursions).  Any change to
+  // the acceptance structure -- tables, rejection order, batch replay --
+  // moves this number and must be a deliberate, documented break.
+  {
+    common::Rng rng(0xd12a);
+    std::vector<double> out(100000);
+    EXPECT_EQ(zig.fill(rng, out.data(), out.size()), 102142u);
+  }
 }
 
 // --- Paired CRN sweeps: `fast` vs `exhaustive` ------------------------------

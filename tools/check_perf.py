@@ -146,6 +146,16 @@ def main():
     fresh = load_entries(args.fresh)
 
     failures = []
+    # A 0 f/s entry means the timed loop never ran (crashed or truncated
+    # smoke run): without this check it would sail through the ratio gates
+    # as a divide-by-zero -> 0.0 "ratio" or silently depress a floor.
+    for key, fps in sorted(fresh.items()):
+        if fps <= 0:
+            cells, users, provider, threads = key
+            failures.append(
+                f"{cells}c/{users}u {provider} t{threads}: recorded "
+                f"{fps:g} f/s -- crashed or truncated smoke run")
+
     for provider in args.require_provider:
         if not any(key[2] == provider for key in fresh):
             failures.append(f"required provider '{provider}' has no fresh entries")
@@ -164,7 +174,15 @@ def main():
             if num_key not in fresh or den_key not in fresh:
                 continue
             checked += 1
-            ratio = fresh[num_key] / fresh[den_key] if fresh[den_key] > 0 else 0.0
+            if fresh[num_key] <= 0 or fresh[den_key] <= 0:
+                # Already reported as a 0 f/s failure above; a ratio over a
+                # zero side is meaningless, so attribute instead of dividing.
+                failures.append(
+                    f"{cells}c/{users}u: {num}/{den} ratio unavailable "
+                    f"({num} {fresh[num_key]:g} f/s, {den} "
+                    f"{fresh[den_key]:g} f/s)")
+                continue
+            ratio = fresh[num_key] / fresh[den_key]
             status = "ok" if ratio >= floor else "REGRESSED"
             print(f"check_perf: {cells}c/{users}u {num}/{den} t1 ratio "
                   f"{ratio:.2f} (floor {floor:.2f}) {status}")

@@ -113,6 +113,10 @@ RULES: List[Rule] = [
         "static mutable local: hidden cross-run (and cross-thread) state "
         "breaks replay and sharded bit-identity",
         path_filter=r"^src/.*\.(?:cpp|hpp)$",
+        # The cached CPUID/WCDMA_SIMD dispatch level: writable only through
+        # the test hook, and every level selects between element-wise
+        # identical kernels, so it cannot influence results (lint_rules.md).
+        allow_paths=("src/common/simd.hpp",),
     ),
     _rule(
         "PORT-PRAGMA-ONCE",
